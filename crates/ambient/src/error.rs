@@ -1,0 +1,56 @@
+//! Error type for the ambient-multimedia models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by smart-space model construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AmbientError {
+    /// A numeric parameter was out of range.
+    InvalidParameter(&'static str),
+    /// An index referenced a missing state/service/sensor.
+    UnknownIndex(&'static str, usize),
+    /// An underlying Markov analysis failed.
+    Analysis(String),
+}
+
+impl fmt::Display for AmbientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmbientError::InvalidParameter(name) => {
+                write!(f, "parameter `{name}` is out of range")
+            }
+            AmbientError::UnknownIndex(what, idx) => write!(f, "unknown {what} index {idx}"),
+            AmbientError::Analysis(msg) => write!(f, "markov analysis failed: {msg}"),
+        }
+    }
+}
+
+impl Error for AmbientError {}
+
+impl From<dms_analysis::AnalysisError> for AmbientError {
+    fn from(e: dms_analysis::AnalysisError) -> Self {
+        AmbientError::Analysis(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(AmbientError::UnknownIndex("service", 4)
+            .to_string()
+            .contains("service"));
+        let e: AmbientError = dms_analysis::AnalysisError::BadDimensions.into();
+        assert!(matches!(e, AmbientError::Analysis(_)));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<AmbientError>();
+    }
+}

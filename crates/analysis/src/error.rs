@@ -1,0 +1,67 @@
+//! Error type for analytical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the analytical solvers and generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A transition matrix row does not sum to one (row index, sum).
+    NotStochastic(usize, f64),
+    /// The matrix is not square or is empty.
+    BadDimensions,
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence { iterations: usize, residual: f64 },
+    /// A probability parameter fell outside `[0, 1]`.
+    InvalidProbability(&'static str, f64),
+    /// A numeric parameter was out of its valid range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NotStochastic(row, sum) => {
+                write!(f, "transition matrix row {row} sums to {sum}, expected 1")
+            }
+            AnalysisError::BadDimensions => write!(f, "matrix must be square and non-empty"),
+            AnalysisError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "solver did not converge after {iterations} iterations (residual {residual:e})"
+                )
+            }
+            AnalysisError::InvalidProbability(name, v) => {
+                write!(f, "probability `{name}` = {v} is outside [0, 1]")
+            }
+            AnalysisError::InvalidParameter(name) => {
+                write!(f, "parameter `{name}` is out of range")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offender() {
+        let e = AnalysisError::NotStochastic(2, 0.9);
+        assert!(e.to_string().contains("row 2"));
+        let e = AnalysisError::InvalidProbability("p", 1.5);
+        assert!(e.to_string().contains('p'));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<AnalysisError>();
+    }
+}

@@ -1,0 +1,306 @@
+//! Hurst-parameter estimation.
+//!
+//! §3.2 argues that long-range dependence (H > 0.5) "is the subtle point
+//! where the long-range dependence analysis surpasses classical
+//! Markovian analysis". These estimators verify that the generators in
+//! [`crate::selfsim`] (and the media traces in `dms-media`) actually
+//! exhibit the self-similarity they promise:
+//!
+//! * [`rescaled_range_hurst`] — the classic R/S statistic: the rescaled
+//!   range over a window of size `n` grows like `nᴴ`;
+//! * [`aggregate_variance_hurst`] — the variance of `m`-aggregated means
+//!   decays like `m^(2H−2)`;
+//! * [`periodogram_hurst`] — the low-frequency periodogram of an fGn
+//!   series scales like `f^(1−2H)`.
+//!
+//! All three fit a least-squares line in log–log space.
+
+/// Least-squares slope of `log(y)` against `log(x)`.
+///
+/// Returns `None` with fewer than two valid (positive, finite) points.
+fn log_log_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0 && x.is_finite() && y.is_finite())
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sy: f64 = logs.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = logs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-15 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Rescaled range (R/S) of one block.
+fn rs_statistic(block: &[f64]) -> Option<f64> {
+    let n = block.len();
+    if n < 2 {
+        return None;
+    }
+    let mean = block.iter().sum::<f64>() / n as f64;
+    let mut cum = 0.0;
+    let mut min_dev: f64 = 0.0;
+    let mut max_dev: f64 = 0.0;
+    for &x in block {
+        cum += x - mean;
+        min_dev = min_dev.min(cum);
+        max_dev = max_dev.max(cum);
+    }
+    let range = max_dev - min_dev;
+    let std = (block.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+    if std <= f64::EPSILON {
+        return None;
+    }
+    Some(range / std)
+}
+
+/// Estimates the Hurst parameter by rescaled-range (R/S) analysis.
+///
+/// The series is partitioned into non-overlapping blocks of several
+/// sizes; the mean R/S per size is regressed against size in log–log
+/// space, and the slope is the estimate.
+///
+/// Returns `None` for series shorter than 32 samples or degenerate
+/// (constant) input. Estimates are clamped to `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use dms_analysis::rescaled_range_hurst;
+/// use dms_sim::SimRng;
+///
+/// // White noise has H ≈ 0.5.
+/// let mut rng = SimRng::new(1);
+/// let noise: Vec<f64> = (0..4096).map(|_| rng.normal(0.0, 1.0)).collect();
+/// let h = rescaled_range_hurst(&noise).expect("long enough");
+/// assert!((h - 0.5).abs() < 0.12);
+/// ```
+#[must_use]
+pub fn rescaled_range_hurst(series: &[f64]) -> Option<f64> {
+    let n = series.len();
+    if n < 32 {
+        return None;
+    }
+    let mut points = Vec::new();
+    let mut size = 8;
+    while size <= n / 4 {
+        let mut rs_values = Vec::new();
+        for block in series.chunks_exact(size) {
+            if let Some(rs) = rs_statistic(block) {
+                rs_values.push(rs);
+            }
+        }
+        if !rs_values.is_empty() {
+            let mean_rs = rs_values.iter().sum::<f64>() / rs_values.len() as f64;
+            points.push((size as f64, mean_rs));
+        }
+        size *= 2;
+    }
+    log_log_slope(&points).map(|h| h.clamp(0.0, 1.0))
+}
+
+/// Estimates the Hurst parameter by the aggregate-variance method.
+///
+/// For each aggregation level `m`, the series is averaged over blocks of
+/// `m` samples; the variance of those block means scales as `m^(2H−2)`,
+/// so `H = 1 + slope/2`.
+///
+/// Returns `None` for series shorter than 32 samples or degenerate
+/// input. Estimates are clamped to `[0, 1]`.
+#[must_use]
+pub fn aggregate_variance_hurst(series: &[f64]) -> Option<f64> {
+    let n = series.len();
+    if n < 32 {
+        return None;
+    }
+    let mut points = Vec::new();
+    let mut m = 1;
+    while m <= n / 8 {
+        let means: Vec<f64> = series
+            .chunks_exact(m)
+            .map(|c| c.iter().sum::<f64>() / m as f64)
+            .collect();
+        if means.len() >= 4 {
+            let mu = means.iter().sum::<f64>() / means.len() as f64;
+            let var = means.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / means.len() as f64;
+            if var > 0.0 {
+                points.push((m as f64, var));
+            }
+        }
+        m *= 2;
+    }
+    log_log_slope(&points).map(|beta| (1.0 + beta / 2.0).clamp(0.0, 1.0))
+}
+
+/// Estimates the Hurst parameter from the low-frequency periodogram.
+///
+/// For long-range-dependent series the spectral density behaves like
+/// `f^(1−2H)` near zero frequency, so the log-periodogram regressed on
+/// log-frequency over the lowest ~10% of frequencies has slope
+/// `1 − 2H`, i.e. `H = (1 − slope)/2`.
+///
+/// The periodogram is evaluated by direct DFT at the low frequencies
+/// only (`O(n·K)` for `K ≈ n/10` ordinates — fine at experiment sizes).
+/// Returns `None` for series shorter than 64 samples or degenerate
+/// input. Estimates are clamped to `[0, 1]`.
+#[must_use]
+pub fn periodogram_hurst(series: &[f64]) -> Option<f64> {
+    let n = series.len();
+    if n < 64 {
+        return None;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var <= f64::EPSILON {
+        return None;
+    }
+    // Lowest 10% of Fourier frequencies, skipping j = 0 (the mean).
+    let k_max = (n / 10).max(8).min(n / 2 - 1);
+    let mut points = Vec::with_capacity(k_max);
+    for j in 1..=k_max {
+        let omega = 2.0 * std::f64::consts::PI * j as f64 / n as f64;
+        let (mut re, mut im) = (0.0f64, 0.0f64);
+        for (t, &x) in series.iter().enumerate() {
+            let phase = omega * t as f64;
+            let centred = x - mean;
+            re += centred * phase.cos();
+            im += centred * phase.sin();
+        }
+        let power = (re * re + im * im) / n as f64;
+        if power > 0.0 {
+            points.push((omega, power));
+        }
+    }
+    log_log_slope(&points).map(|slope| ((1.0 - slope) / 2.0).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selfsim::FractionalGaussianNoise;
+    use dms_sim::SimRng;
+
+    #[test]
+    fn short_series_yield_none() {
+        assert_eq!(rescaled_range_hurst(&[1.0; 16]), None);
+        assert_eq!(aggregate_variance_hurst(&[1.0; 16]), None);
+    }
+
+    #[test]
+    fn constant_series_yield_none() {
+        assert_eq!(rescaled_range_hurst(&[3.0; 1024]), None);
+        assert_eq!(aggregate_variance_hurst(&[3.0; 1024]), None);
+    }
+
+    #[test]
+    fn white_noise_estimates_near_half() {
+        let mut rng = SimRng::new(7);
+        let series: Vec<f64> = (0..8192).map(|_| rng.normal(0.0, 1.0)).collect();
+        let rs = rescaled_range_hurst(&series).expect("long enough");
+        let av = aggregate_variance_hurst(&series).expect("long enough");
+        assert!((rs - 0.5).abs() < 0.12, "R/S estimate {rs}");
+        assert!((av - 0.5).abs() < 0.12, "variance estimate {av}");
+    }
+
+    #[test]
+    fn fgn_estimates_track_target_hurst() {
+        for &h in &[0.6, 0.8] {
+            let fgn = FractionalGaussianNoise::new(h).expect("valid");
+            let series = fgn.generate(8192, &mut SimRng::new(17));
+            let av = aggregate_variance_hurst(&series).expect("long enough");
+            assert!((av - h).abs() < 0.12, "target {h}, variance estimate {av}");
+        }
+    }
+
+    #[test]
+    fn lrd_estimates_exceed_white_noise_estimates() {
+        let mut rng = SimRng::new(23);
+        let lrd = FractionalGaussianNoise::new(0.9)
+            .expect("valid")
+            .generate(8192, &mut rng);
+        let wn: Vec<f64> = (0..8192).map(|_| rng.normal(0.0, 1.0)).collect();
+        let h_lrd = rescaled_range_hurst(&lrd).expect("long enough");
+        let h_wn = rescaled_range_hurst(&wn).expect("long enough");
+        assert!(h_lrd > h_wn + 0.1, "LRD {h_lrd} vs white noise {h_wn}");
+    }
+
+    #[test]
+    fn estimates_are_clamped() {
+        // A strongly trending series pushes the raw slope above 1.
+        let series: Vec<f64> = (0..2048).map(f64::from).collect();
+        if let Some(h) = rescaled_range_hurst(&series) {
+            assert!((0.0..=1.0).contains(&h));
+        }
+        if let Some(h) = aggregate_variance_hurst(&series) {
+            assert!((0.0..=1.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn periodogram_white_noise_near_half() {
+        let mut rng = SimRng::new(29);
+        let series: Vec<f64> = (0..4096).map(|_| rng.normal(0.0, 1.0)).collect();
+        let h = periodogram_hurst(&series).expect("long enough");
+        assert!((h - 0.5).abs() < 0.15, "periodogram estimate {h}");
+    }
+
+    #[test]
+    fn periodogram_tracks_lrd() {
+        let fgn = FractionalGaussianNoise::new(0.8).expect("valid");
+        let series = fgn.generate(4096, &mut SimRng::new(31));
+        let h = periodogram_hurst(&series).expect("long enough");
+        assert!(
+            (h - 0.8).abs() < 0.15,
+            "target 0.8, periodogram estimate {h}"
+        );
+        // And it orders correctly against white noise.
+        let mut rng = SimRng::new(33);
+        let wn: Vec<f64> = (0..4096).map(|_| rng.normal(0.0, 1.0)).collect();
+        let h_wn = periodogram_hurst(&wn).expect("long enough");
+        assert!(h > h_wn);
+    }
+
+    #[test]
+    fn periodogram_edge_cases() {
+        assert_eq!(periodogram_hurst(&[1.0; 32]), None);
+        assert_eq!(periodogram_hurst(&[5.0; 1024]), None);
+    }
+
+    #[test]
+    fn all_three_estimators_agree_on_direction() {
+        let fgn = FractionalGaussianNoise::new(0.85).expect("valid");
+        let series = fgn.generate(4096, &mut SimRng::new(37));
+        let rs = rescaled_range_hurst(&series).expect("long enough");
+        let av = aggregate_variance_hurst(&series).expect("long enough");
+        let pg = periodogram_hurst(&series).expect("long enough");
+        for (name, h) in [("R/S", rs), ("variance", av), ("periodogram", pg)] {
+            assert!(h > 0.6, "{name} estimator missed the LRD: {h}");
+        }
+    }
+
+    #[test]
+    fn log_log_slope_recovers_power_law() {
+        let points: Vec<(f64, f64)> = (1..=10)
+            .map(|i| {
+                let x = f64::from(i);
+                (x, 3.0 * x.powf(0.7))
+            })
+            .collect();
+        let slope = log_log_slope(&points).expect("enough points");
+        assert!((slope - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_log_slope_ignores_invalid_points() {
+        let points = vec![(0.0, 1.0), (-1.0, 2.0), (1.0, f64::NAN)];
+        assert_eq!(log_log_slope(&points), None);
+    }
+}

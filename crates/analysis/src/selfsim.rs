@@ -1,0 +1,412 @@
+//! Self-similar (long-range dependent) traffic generation.
+//!
+//! "The bursty nature of the multimedia traffic makes self-similarity a
+//! critical design factor ... self-similar processes typically obey some
+//! power-law decay of the autocorrelation function. This produces
+//! scenarios which are drastically different from those experienced with
+//! traditional short-range dependent models such as Markovian processes"
+//! (§3.2). Two generators are provided:
+//!
+//! * [`FractionalGaussianNoise`] — exact fGn via the Hosking
+//!   (Durbin–Levinson) recursion; the canonical LRD process with
+//!   Hurst parameter `H`;
+//! * [`OnOffAggregate`] — superposition of Pareto ON/OFF sources, the
+//!   physically-motivated model of aggregated multimedia flows (many
+//!   bursty cores sharing a NoC); heavy-tailed sojourns with tail index
+//!   `α` yield `H = (3 − α)/2`.
+//!
+//! [`PoissonArrivals`] supplies the Markovian (short-range dependent)
+//! baseline the paper contrasts against.
+
+use dms_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnalysisError;
+
+/// Exact fractional Gaussian noise generator (Hosking's method).
+///
+/// Produces a stationary Gaussian series with autocovariance
+/// `γ(k) = ½(|k+1|²ᴴ − 2|k|²ᴴ + |k−1|²ᴴ)`. `H = 0.5` degenerates to
+/// white noise; `H > 0.5` gives long-range dependence.
+///
+/// The Durbin–Levinson recursion is `O(n²)`; fine for the ≤ 2¹⁶-sample
+/// series used in the experiments.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dms_analysis::AnalysisError> {
+/// use dms_analysis::FractionalGaussianNoise;
+/// use dms_sim::SimRng;
+///
+/// let fgn = FractionalGaussianNoise::new(0.8)?;
+/// let series = fgn.generate(1024, &mut SimRng::new(42));
+/// assert_eq!(series.len(), 1024);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FractionalGaussianNoise {
+    hurst: f64,
+}
+
+impl FractionalGaussianNoise {
+    /// Creates a generator with Hurst parameter `hurst ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] for `hurst` outside
+    /// the open unit interval.
+    pub fn new(hurst: f64) -> Result<Self, AnalysisError> {
+        if !(hurst > 0.0 && hurst < 1.0) {
+            return Err(AnalysisError::InvalidParameter("hurst"));
+        }
+        Ok(FractionalGaussianNoise { hurst })
+    }
+
+    /// The Hurst parameter.
+    #[must_use]
+    pub fn hurst(&self) -> f64 {
+        self.hurst
+    }
+
+    /// Theoretical autocovariance at lag `k` (variance 1 at lag 0).
+    #[must_use]
+    pub fn autocovariance(&self, k: usize) -> f64 {
+        let h2 = 2.0 * self.hurst;
+        let k = k as f64;
+        0.5 * ((k + 1.0).powf(h2) - 2.0 * k.powf(h2) + (k - 1.0).abs().powf(h2))
+    }
+
+    /// Generates `n` zero-mean, unit-variance fGn samples.
+    #[must_use]
+    pub fn generate(&self, n: usize, rng: &mut SimRng) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let gamma: Vec<f64> = (0..n).map(|k| self.autocovariance(k)).collect();
+        let mut x = Vec::with_capacity(n);
+        let mut phi: Vec<f64> = Vec::with_capacity(n);
+        let mut v = gamma[0];
+        x.push(rng.normal(0.0, v.sqrt()));
+        for t in 1..n {
+            // Reflection coefficient.
+            let mut acc = gamma[t];
+            for (j, &p) in phi.iter().enumerate() {
+                acc -= p * gamma[t - 1 - j];
+            }
+            let kappa = acc / v;
+            // Update AR coefficients: φ_t,j = φ_{t−1,j} − κ φ_{t−1,t−1−j}.
+            let prev = phi.clone();
+            for (j, p) in phi.iter_mut().enumerate() {
+                *p = prev[j] - kappa * prev[prev.len() - 1 - j];
+            }
+            phi.push(kappa);
+            v *= 1.0 - kappa * kappa;
+            let mean: f64 = phi.iter().enumerate().map(|(j, &p)| p * x[t - 1 - j]).sum();
+            x.push(mean + rng.normal(0.0, v.max(0.0).sqrt()));
+        }
+        x
+    }
+
+    /// Generates `n` non-negative *arrival counts* per slot with the
+    /// given mean and burstiness (standard deviation), by shifting and
+    /// truncating the Gaussian series at zero.
+    ///
+    /// Truncation slightly weakens but does not destroy the long-range
+    /// dependence (verified by the Hurst tests).
+    #[must_use]
+    pub fn generate_counts(&self, n: usize, mean: f64, std_dev: f64, rng: &mut SimRng) -> Vec<f64> {
+        self.generate(n, rng)
+            .into_iter()
+            .map(|z| (mean + std_dev * z).max(0.0))
+            .collect()
+    }
+}
+
+/// Superposition of Pareto ON/OFF sources.
+///
+/// Each of `sources` independent sources alternates between ON periods
+/// (emitting one unit per slot) and OFF periods (silent), with Pareto
+/// sojourn times of tail index `alpha_on` / `alpha_off`. With
+/// `1 < α < 2` the aggregate count process is asymptotically
+/// self-similar with `H = (3 − α_min)/2` (Taqqu's theorem) — the reason
+/// aggregated multimedia flows defeat Markovian buffer sizing (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnOffAggregate {
+    sources: usize,
+    alpha_on: f64,
+    alpha_off: f64,
+    min_period: f64,
+}
+
+impl OnOffAggregate {
+    /// Creates an aggregate of `sources` ON/OFF sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] if `sources == 0` or
+    /// either tail index is outside `(1, 2]` (we require finite means so
+    /// the process has a well-defined rate, and `α ≤ 2` for LRD).
+    pub fn new(sources: usize, alpha_on: f64, alpha_off: f64) -> Result<Self, AnalysisError> {
+        if sources == 0 {
+            return Err(AnalysisError::InvalidParameter("sources"));
+        }
+        for (name, a) in [("alpha_on", alpha_on), ("alpha_off", alpha_off)] {
+            if !(a > 1.0 && a <= 2.0) {
+                return Err(AnalysisError::InvalidParameter(match name {
+                    "alpha_on" => "alpha_on",
+                    _ => "alpha_off",
+                }));
+            }
+        }
+        Ok(OnOffAggregate {
+            sources,
+            alpha_on,
+            alpha_off,
+            min_period: 1.0,
+        })
+    }
+
+    /// Theoretical Hurst parameter of the aggregate,
+    /// `H = (3 − min(α_on, α_off))/2`.
+    #[must_use]
+    pub fn theoretical_hurst(&self) -> f64 {
+        (3.0 - self.alpha_on.min(self.alpha_off)) / 2.0
+    }
+
+    /// Expected long-run fraction of time each source is ON.
+    #[must_use]
+    pub fn duty_cycle(&self) -> f64 {
+        let mean_on = self.alpha_on * self.min_period / (self.alpha_on - 1.0);
+        let mean_off = self.alpha_off * self.min_period / (self.alpha_off - 1.0);
+        mean_on / (mean_on + mean_off)
+    }
+
+    /// Generates `n` slots of aggregate counts (units emitted per slot,
+    /// `0..=sources`).
+    #[must_use]
+    pub fn generate(&self, n: usize, rng: &mut SimRng) -> Vec<f64> {
+        let mut counts = vec![0.0; n];
+        for s in 0..self.sources {
+            let mut src_rng = rng.substream("onoff-source", s as u64);
+            // Random initial phase: start ON or OFF with duty-cycle probability.
+            let mut on = src_rng.chance(self.duty_cycle());
+            let mut t = 0usize;
+            while t < n {
+                let alpha = if on { self.alpha_on } else { self.alpha_off };
+                let len = src_rng.pareto(self.min_period, alpha).round().max(1.0) as usize;
+                let end = (t + len).min(n);
+                if on {
+                    for c in &mut counts[t..end] {
+                        *c += 1.0;
+                    }
+                }
+                t = end;
+                on = !on;
+            }
+        }
+        counts
+    }
+}
+
+/// Slotted Poisson arrivals — the short-range-dependent (Markovian)
+/// baseline of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonArrivals {
+    rate: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a generator with mean `rate` arrivals per slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] for a non-positive or
+    /// non-finite rate.
+    pub fn new(rate: f64) -> Result<Self, AnalysisError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(AnalysisError::InvalidParameter("rate"));
+        }
+        Ok(PoissonArrivals { rate })
+    }
+
+    /// Mean arrivals per slot.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Generates `n` slots of Poisson counts (Knuth's algorithm; exact
+    /// for the moderate rates used here).
+    #[must_use]
+    pub fn generate(&self, n: usize, rng: &mut SimRng) -> Vec<f64> {
+        let limit = (-self.rate).exp();
+        (0..n)
+            .map(|_| {
+                let mut k = 0u32;
+                let mut p = 1.0;
+                loop {
+                    p *= rng.uniform();
+                    if p <= limit {
+                        break;
+                    }
+                    k += 1;
+                }
+                f64::from(k)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dms_sim::Autocorrelation;
+
+    #[test]
+    fn fgn_rejects_bad_hurst() {
+        assert!(FractionalGaussianNoise::new(0.0).is_err());
+        assert!(FractionalGaussianNoise::new(1.0).is_err());
+        assert!(FractionalGaussianNoise::new(-0.3).is_err());
+    }
+
+    #[test]
+    fn fgn_autocovariance_white_noise() {
+        let fgn = FractionalGaussianNoise::new(0.5).expect("valid");
+        assert!((fgn.autocovariance(0) - 1.0).abs() < 1e-12);
+        for k in 1..10 {
+            assert!(fgn.autocovariance(k).abs() < 1e-12, "lag {k}");
+        }
+    }
+
+    #[test]
+    fn fgn_autocovariance_positive_for_lrd() {
+        let fgn = FractionalGaussianNoise::new(0.8).expect("valid");
+        for k in 1..50 {
+            assert!(fgn.autocovariance(k) > 0.0, "lag {k}");
+        }
+        // Power-law decay: slower than any exponential; check monotone decay.
+        assert!(fgn.autocovariance(1) > fgn.autocovariance(10));
+        assert!(fgn.autocovariance(10) > fgn.autocovariance(40));
+    }
+
+    #[test]
+    fn fgn_sample_moments() {
+        let fgn = FractionalGaussianNoise::new(0.7).expect("valid");
+        let series = fgn.generate(8192, &mut SimRng::new(9));
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn fgn_lrd_has_heavier_acf_than_white_noise() {
+        let mut rng = SimRng::new(11);
+        let lrd = FractionalGaussianNoise::new(0.85)
+            .expect("valid")
+            .generate(4096, &mut rng);
+        let wn = FractionalGaussianNoise::new(0.5)
+            .expect("valid")
+            .generate(4096, &mut rng);
+        let acf_lrd = Autocorrelation::of(&lrd, 20);
+        let acf_wn = Autocorrelation::of(&wn, 20);
+        let tail_lrd: f64 = (10..=20).filter_map(|k| acf_lrd.at(k)).sum();
+        let tail_wn: f64 = (10..=20).filter_map(|k| acf_wn.at(k)).sum();
+        assert!(
+            tail_lrd > tail_wn + 0.1,
+            "LRD tail {tail_lrd} should exceed white-noise tail {tail_wn}"
+        );
+    }
+
+    #[test]
+    fn fgn_counts_are_nonnegative_with_target_mean() {
+        let fgn = FractionalGaussianNoise::new(0.75).expect("valid");
+        let counts = fgn.generate_counts(4096, 10.0, 2.0, &mut SimRng::new(3));
+        assert!(counts.iter().all(|&c| c >= 0.0));
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn fgn_deterministic_for_same_seed() {
+        let fgn = FractionalGaussianNoise::new(0.8).expect("valid");
+        let a = fgn.generate(128, &mut SimRng::new(5));
+        let b = fgn.generate(128, &mut SimRng::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fgn_empty_request() {
+        let fgn = FractionalGaussianNoise::new(0.6).expect("valid");
+        assert!(fgn.generate(0, &mut SimRng::new(1)).is_empty());
+    }
+
+    #[test]
+    fn onoff_rejects_bad_parameters() {
+        assert!(OnOffAggregate::new(0, 1.5, 1.5).is_err());
+        assert!(OnOffAggregate::new(4, 0.9, 1.5).is_err());
+        assert!(OnOffAggregate::new(4, 1.5, 2.5).is_err());
+    }
+
+    #[test]
+    fn onoff_counts_bounded_by_sources() {
+        let agg = OnOffAggregate::new(8, 1.4, 1.4).expect("valid");
+        let counts = agg.generate(2048, &mut SimRng::new(21));
+        assert!(counts.iter().all(|&c| (0.0..=8.0).contains(&c)));
+        // Something actually arrives.
+        assert!(counts.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn onoff_theoretical_hurst() {
+        let agg = OnOffAggregate::new(16, 1.2, 1.6).expect("valid");
+        assert!((agg.theoretical_hurst() - 0.9).abs() < 1e-12);
+        let sym = OnOffAggregate::new(16, 2.0, 2.0).expect("valid");
+        assert!((sym.theoretical_hurst() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onoff_duty_cycle_symmetric_is_half() {
+        let agg = OnOffAggregate::new(4, 1.5, 1.5).expect("valid");
+        assert!((agg.duty_cycle() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let gen = PoissonArrivals::new(4.0).expect("valid");
+        let counts = gen.generate(20_000, &mut SimRng::new(31));
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_variance_equals_mean() {
+        let gen = PoissonArrivals::new(3.0).expect("valid");
+        let counts = gen.generate(20_000, &mut SimRng::new(37));
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / counts.len() as f64;
+        assert!(
+            (var / mean - 1.0).abs() < 0.1,
+            "index of dispersion {}",
+            var / mean
+        );
+    }
+
+    #[test]
+    fn poisson_rejects_bad_rate() {
+        assert!(PoissonArrivals::new(0.0).is_err());
+        assert!(PoissonArrivals::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn poisson_acf_is_flat() {
+        let gen = PoissonArrivals::new(5.0).expect("valid");
+        let counts = gen.generate(8192, &mut SimRng::new(41));
+        let acf = Autocorrelation::of(&counts, 10);
+        for k in 1..=10 {
+            assert!(acf.at(k).expect("computed").abs() < 0.05, "lag {k}");
+        }
+    }
+}

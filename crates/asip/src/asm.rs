@@ -1,0 +1,411 @@
+//! A small two-pass text assembler for the base ISA.
+//!
+//! Lets workloads be written as readable assembly instead of builder
+//! calls — the "C/C++-like specification" entry point of Fig. 2, scaled
+//! to this ISA. Syntax, one instruction per line:
+//!
+//! ```text
+//! ; comments run to end of line (also '#')
+//! start:              ; labels end with ':'
+//!     li   r1, 10
+//!     li   r2, 0
+//! loop:
+//!     add  r2, r2, r1
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     st   r2, r0, 100
+//!     halt
+//! ```
+//!
+//! Mnemonics: `add sub mul and or xor` (3 registers), `addi` (reg, reg,
+//! imm), `shli shri` (reg, reg, imm), `li` (reg, imm), `ld st` (reg,
+//! reg, offset), branches `beq bne blt bge` (reg, reg, label), `jmp`
+//! (label), `halt`. Everything is case-insensitive.
+
+use std::collections::HashMap;
+
+use crate::isa::{Cond, Instr, Reg};
+use crate::program::Program;
+
+/// An assembly diagnostic: what went wrong and on which line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics/registers, duplicate or undefined labels, or
+/// out-of-range operands.
+///
+/// # Examples
+///
+/// ```
+/// use dms_asip::asm::assemble;
+/// use dms_asip::extend::ExtensionCatalog;
+/// use dms_asip::isa::Reg;
+/// use dms_asip::iss::{Iss, IssConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = assemble(
+///     "    li r1, 6\n     li r2, 7\n     mul r3, r1, r2\n     halt\n",
+/// )?;
+/// let report = Iss::new(IssConfig::default(), ExtensionCatalog::new()).run(&program)?;
+/// assert_eq!(report.reg(Reg(3)), 42);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut statements: Vec<(usize, Vec<String>)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw.split([';', '#']).next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        let mut rest = code;
+        // A line may carry several labels before an instruction.
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(AsmError {
+                    line,
+                    message: format!("malformed label `{label}`"),
+                });
+            }
+            if labels
+                .insert(label.to_lowercase(), statements.len())
+                .is_some()
+            {
+                return Err(AsmError {
+                    line,
+                    message: format!("duplicate label `{label}`"),
+                });
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let tokens: Vec<String> = rest
+            .split([' ', '\t', ','])
+            .filter(|t| !t.is_empty())
+            .map(str::to_lowercase)
+            .collect();
+        statements.push((line, tokens));
+    }
+    // Pass 2: encode.
+    let mut instrs = Vec::with_capacity(statements.len());
+    for (line, tokens) in &statements {
+        instrs.push(encode(*line, tokens, &labels)?);
+    }
+    Program::new(instrs).map_err(|e| AsmError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+fn encode(
+    line: usize,
+    tokens: &[String],
+    labels: &HashMap<String, usize>,
+) -> Result<Instr, AsmError> {
+    let err = |message: String| AsmError { line, message };
+    let mnemonic = tokens[0].as_str();
+    let arity = tokens.len() - 1;
+    let want = |n: usize| -> Result<(), AsmError> {
+        if arity == n {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "`{mnemonic}` expects {n} operand(s), got {arity}"
+            )))
+        }
+    };
+    let reg = |t: &str| -> Result<Reg, AsmError> {
+        let idx = t
+            .strip_prefix('r')
+            .and_then(|d| d.parse::<u8>().ok())
+            .ok_or_else(|| err(format!("expected register, got `{t}`")))?;
+        let r = Reg(idx);
+        if r.is_valid() {
+            Ok(r)
+        } else {
+            Err(err(format!("register r{idx} out of range")))
+        }
+    };
+    let imm = |t: &str| -> Result<i64, AsmError> {
+        t.parse::<i64>()
+            .map_err(|_| err(format!("expected integer, got `{t}`")))
+    };
+    let shift = |t: &str| -> Result<u8, AsmError> {
+        let v = imm(t)?;
+        if (0..64).contains(&v) {
+            Ok(v as u8)
+        } else {
+            Err(err(format!("shift amount {v} out of 0..64")))
+        }
+    };
+    let target = |t: &str| -> Result<usize, AsmError> {
+        labels
+            .get(t)
+            .copied()
+            .ok_or_else(|| err(format!("undefined label `{t}`")))
+    };
+    let instr = match mnemonic {
+        "add" | "sub" | "mul" | "and" | "or" | "xor" => {
+            want(3)?;
+            let (d, a, b) = (reg(&tokens[1])?, reg(&tokens[2])?, reg(&tokens[3])?);
+            match mnemonic {
+                "add" => Instr::Add(d, a, b),
+                "sub" => Instr::Sub(d, a, b),
+                "mul" => Instr::Mul(d, a, b),
+                "and" => Instr::And(d, a, b),
+                "or" => Instr::Or(d, a, b),
+                _ => Instr::Xor(d, a, b),
+            }
+        }
+        "addi" => {
+            want(3)?;
+            Instr::Addi(reg(&tokens[1])?, reg(&tokens[2])?, imm(&tokens[3])?)
+        }
+        "shli" => {
+            want(3)?;
+            Instr::Shli(reg(&tokens[1])?, reg(&tokens[2])?, shift(&tokens[3])?)
+        }
+        "shri" => {
+            want(3)?;
+            Instr::Shri(reg(&tokens[1])?, reg(&tokens[2])?, shift(&tokens[3])?)
+        }
+        "li" => {
+            want(2)?;
+            Instr::Li(reg(&tokens[1])?, imm(&tokens[2])?)
+        }
+        "ld" => {
+            want(3)?;
+            Instr::Ld(reg(&tokens[1])?, reg(&tokens[2])?, imm(&tokens[3])?)
+        }
+        "st" => {
+            want(3)?;
+            Instr::St(reg(&tokens[1])?, reg(&tokens[2])?, imm(&tokens[3])?)
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            want(3)?;
+            let cond = match mnemonic {
+                "beq" => Cond::Eq,
+                "bne" => Cond::Ne,
+                "blt" => Cond::Lt,
+                _ => Cond::Ge,
+            };
+            Instr::Branch(
+                cond,
+                reg(&tokens[1])?,
+                reg(&tokens[2])?,
+                target(&tokens[3])?,
+            )
+        }
+        "jmp" => {
+            want(1)?;
+            Instr::Jmp(target(&tokens[1])?)
+        }
+        "halt" => {
+            want(0)?;
+            Instr::Halt
+        }
+        other => return Err(err(format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(instr)
+}
+
+/// Disassembles a program back to text (labels synthesised as `L<n>`),
+/// the inverse convenience for debugging retargeted code. `Custom`
+/// opcodes print as `custom <id>` (not re-assemblable — extensions are
+/// configuration, not text).
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    let targets = program.branch_targets();
+    let label_of = |idx: usize| format!("L{idx}");
+    let mut out = String::new();
+    for (i, instr) in program.instructions().iter().enumerate() {
+        if targets.binary_search(&i).is_ok() {
+            out.push_str(&label_of(i));
+            out.push_str(":\n");
+        }
+        let text = match *instr {
+            Instr::Add(d, a, b) => format!("add r{}, r{}, r{}", d.0, a.0, b.0),
+            Instr::Sub(d, a, b) => format!("sub r{}, r{}, r{}", d.0, a.0, b.0),
+            Instr::Mul(d, a, b) => format!("mul r{}, r{}, r{}", d.0, a.0, b.0),
+            Instr::And(d, a, b) => format!("and r{}, r{}, r{}", d.0, a.0, b.0),
+            Instr::Or(d, a, b) => format!("or r{}, r{}, r{}", d.0, a.0, b.0),
+            Instr::Xor(d, a, b) => format!("xor r{}, r{}, r{}", d.0, a.0, b.0),
+            Instr::Addi(d, a, i) => format!("addi r{}, r{}, {}", d.0, a.0, i),
+            Instr::Shli(d, a, s) => format!("shli r{}, r{}, {}", d.0, a.0, s),
+            Instr::Shri(d, a, s) => format!("shri r{}, r{}, {}", d.0, a.0, s),
+            Instr::Li(d, i) => format!("li r{}, {}", d.0, i),
+            Instr::Ld(d, b, o) => format!("ld r{}, r{}, {}", d.0, b.0, o),
+            Instr::St(s, b, o) => format!("st r{}, r{}, {}", s.0, b.0, o),
+            Instr::Branch(c, a, b, t) => {
+                let m = match c {
+                    Cond::Eq => "beq",
+                    Cond::Ne => "bne",
+                    Cond::Lt => "blt",
+                    Cond::Ge => "bge",
+                };
+                format!("{m} r{}, r{}, {}", a.0, b.0, label_of(t))
+            }
+            Instr::Jmp(t) => format!("jmp {}", label_of(t)),
+            Instr::Custom(id) => format!("custom {id}"),
+            Instr::Halt => "halt".to_string(),
+        };
+        out.push_str("    ");
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extend::ExtensionCatalog;
+    use crate::iss::{Iss, IssConfig};
+
+    fn run(src: &str) -> crate::iss::ExecReport {
+        let p = assemble(src).expect("assembles");
+        Iss::new(IssConfig::default(), ExtensionCatalog::new())
+            .run(&p)
+            .expect("halts")
+    }
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let r = run("
+            ; sum 1..=10 into r2, store at mem[100]
+                li   r1, 10
+                li   r2, 0
+            loop:
+                add  r2, r2, r1
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                st   r2, r0, 100
+                halt
+        ");
+        assert_eq!(r.memory[100], 55);
+    }
+
+    #[test]
+    fn labels_forward_and_multiple() {
+        let r = run("
+                li r1, 1
+                jmp skip
+                li r1, 99     # never executed
+            skip: done:
+                halt
+        ");
+        assert_eq!(r.reg(Reg(1)), 1);
+    }
+
+    #[test]
+    fn all_mnemonics_round_trip_through_disassembly() {
+        let src = "
+            top:
+                li   r1, 5
+                addi r2, r1, 3
+                add  r3, r1, r2
+                sub  r4, r3, r1
+                mul  r5, r4, r2
+                and  r6, r5, r3
+                or   r6, r6, r1
+                xor  r6, r6, r2
+                shli r7, r6, 2
+                shri r7, r7, 1
+                st   r7, r0, 50
+                ld   r8, r0, 50
+                beq  r8, r7, ok
+                jmp  top
+            ok:
+                blt  r1, r2, end
+                bge  r2, r1, end
+            end:
+                halt
+        ";
+        let p = assemble(src).expect("assembles");
+        let text = disassemble(&p);
+        let p2 = assemble(&text).expect("disassembly re-assembles");
+        assert_eq!(p, p2, "assemble . disassemble must be the identity");
+    }
+
+    #[test]
+    fn error_reporting_names_the_line() {
+        let e = assemble("  li r1, 5\n  frob r1\n  halt").expect_err("unknown mnemonic");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frob"));
+
+        let e = assemble("  li r99, 5\n  halt").expect_err("bad register");
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("r99"));
+
+        let e = assemble("  jmp nowhere\n  halt").expect_err("undefined label");
+        assert!(e.message.contains("nowhere"));
+
+        let e = assemble("x: x: halt").expect_err("duplicate label");
+        assert!(e.message.contains("duplicate"));
+
+        let e = assemble("  add r1, r2\n  halt").expect_err("arity");
+        assert!(e.message.contains("expects 3"));
+
+        let e = assemble("  shli r1, r2, 70\n  halt").expect_err("shift range");
+        assert!(e.message.contains("out of"));
+
+        let e = assemble("  li r1, abc\n  halt").expect_err("bad immediate");
+        assert!(e.message.contains("abc"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let r = run("\n\n; nothing\n# also nothing\n  li r1, 7 ; trailing\n  halt\n");
+        assert_eq!(r.reg(Reg(1)), 7);
+    }
+
+    #[test]
+    fn assembled_program_feeds_the_design_flow() {
+        use crate::flow::{DesignFlow, FlowConstraints};
+        let p = assemble(
+            "
+                li r2, 200
+            top:
+                ld  r3, r1, 0
+                ld  r4, r1, 1000
+                mul r5, r3, r4
+                add r6, r6, r5
+                addi r1, r1, 1
+                blt r1, r2, top
+                st  r6, r0, 2000
+                halt
+        ",
+        )
+        .expect("assembles");
+        let report = DesignFlow::new(FlowConstraints::default())
+            .run(&p)
+            .expect("flow runs");
+        assert!(report.verified);
+        assert!(report.speedup > 1.0);
+    }
+}

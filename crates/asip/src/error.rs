@@ -1,0 +1,65 @@
+//! Error type for the ASIP platform.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by program construction, simulation and the design
+/// flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AsipError {
+    /// A register index is outside the register file.
+    BadRegister(u8),
+    /// A branch references an unresolved or foreign label.
+    UnresolvedLabel(usize),
+    /// Execution touched memory outside the configured data size.
+    MemoryFault { address: i64 },
+    /// The program ran past its fuel budget (probable infinite loop).
+    OutOfFuel { executed: u64 },
+    /// Execution fell off the end of the program without `Halt`.
+    MissingHalt,
+    /// A custom opcode was executed that the ISS does not know.
+    UnknownCustomOp(usize),
+    /// A numeric parameter was out of range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for AsipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsipError::BadRegister(r) => write!(f, "register r{r} is outside the register file"),
+            AsipError::UnresolvedLabel(l) => write!(f, "label {l} was never placed"),
+            AsipError::MemoryFault { address } => write!(f, "memory fault at address {address}"),
+            AsipError::OutOfFuel { executed } => {
+                write!(
+                    f,
+                    "fuel exhausted after {executed} instructions (infinite loop?)"
+                )
+            }
+            AsipError::MissingHalt => write!(f, "execution fell off the end of the program"),
+            AsipError::UnknownCustomOp(id) => write!(f, "unknown custom opcode {id}"),
+            AsipError::InvalidParameter(name) => write!(f, "parameter `{name}` is out of range"),
+        }
+    }
+}
+
+impl Error for AsipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AsipError::BadRegister(40).to_string().contains("r40"));
+        assert!(AsipError::MemoryFault { address: -1 }
+            .to_string()
+            .contains("-1"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<AsipError>();
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion bench for experiment e10_steady_state: e10 producer-consumer steady state (Gauss-Seidel).
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_analysis::ProducerConsumerChain;
+
+fn kernel() -> f64 {
+    ProducerConsumerChain::new(0.45, 0.5, 32)
+        .expect("valid")
+        .performance()
+        .expect("converges")
+        .mean_occupancy
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_steady_state");
+    group.sample_size(10);
+    group.bench_function("e10 producer-consumer steady state (Gauss-Seidel)", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

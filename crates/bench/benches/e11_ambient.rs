@@ -1,0 +1,26 @@
+//! Criterion bench for experiment e11_ambient: e11 smart-space utility under failures.
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_ambient::smartspace::SmartSpace;
+
+fn kernel() -> f64 {
+    let space = SmartSpace::home_preset(0.05).expect("preset valid");
+    space.evaluate(10.0).expect("converges").expected_utility
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_ambient");
+    group.sample_size(10);
+    group.bench_function("e11 smart-space utility under failures", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

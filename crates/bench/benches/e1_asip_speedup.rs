@@ -1,0 +1,31 @@
+//! Criterion bench for experiment e1_asip_speedup: e1 voice-recognition ASIP flow.
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_asip::flow::{DesignFlow, FlowConstraints};
+use dms_asip::workloads;
+
+fn kernel() -> f64 {
+    let program = workloads::voice_recognition(512, 8, 8).expect("valid dims");
+    let memory = workloads::voice_test_memory(512, 8, 8, 1 << 16);
+    DesignFlow::new(FlowConstraints::default())
+        .run_with_memory(&program, memory)
+        .expect("flow runs")
+        .speedup
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_asip_speedup");
+    group.sample_size(10);
+    group.bench_function("e1 voice-recognition ASIP flow", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for experiment e2_traffic: e2 self-similar vs Poisson queueing.
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_analysis::{FractionalGaussianNoise, PoissonArrivals};
+use dms_noc::queueing::SlottedQueueSim;
+use dms_sim::SimRng;
+
+fn kernel() -> f64 {
+    let mut rng = SimRng::new(97);
+    let n = 8_192;
+    let poisson = PoissonArrivals::new(3.0)
+        .expect("valid")
+        .generate(n, &mut rng);
+    let lrd = FractionalGaussianNoise::new(0.85)
+        .expect("valid")
+        .generate_counts(n, 3.0, 2.5, &mut rng);
+    let queue = SlottedQueueSim::new(16, 3.75).expect("valid");
+    queue.run(&lrd).loss_rate() - queue.run(&poisson).loss_rate()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_traffic");
+    group.sample_size(10);
+    group.bench_function("e2 self-similar vs Poisson queueing", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for experiment e3_noc_mapping: e3 VOPD mapping by simulated annealing.
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_noc::mapping::{CoreGraph, Mapper};
+use dms_noc::topology::Mesh2d;
+
+fn kernel() -> f64 {
+    let mapper = Mapper::new(&CoreGraph::vopd(), &Mesh2d::new(4, 4).expect("valid")).expect("fits");
+    mapper
+        .energy(&mapper.simulated_annealing(7))
+        .expect("valid")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_noc_mapping");
+    group.sample_size(10);
+    group.bench_function("e3 VOPD mapping by simulated annealing", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

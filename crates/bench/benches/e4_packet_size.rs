@@ -1,0 +1,31 @@
+//! Criterion bench for experiment e4_packet_size: e4 packet-size point (flit-level NoC sim).
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_noc::sim::{NocConfig, NocSim};
+use dms_noc::traffic::InjectionProcess;
+
+fn kernel() -> f64 {
+    let mut cfg = NocConfig::mesh4x4();
+    cfg.payload_bytes = 64;
+    cfg.injection = InjectionProcess::Bernoulli { p: 0.01 };
+    cfg.inject_cycles = 5_000;
+    cfg.drain_cycles = 5_000;
+    NocSim::run(cfg, 7).expect("valid").energy_per_byte_pj
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_packet_size");
+    group.sample_size(10);
+    group.bench_function("e4 packet-size point (flit-level NoC sim)", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

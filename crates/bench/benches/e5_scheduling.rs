@@ -1,0 +1,38 @@
+//! Criterion bench for experiment e5_scheduling: e5 energy-aware scheduling vs EDF.
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_noc::sched::{random_task_graph, EdfScheduler, EnergyAwareScheduler, SchedPlatform};
+use dms_noc::topology::{Mesh2d, TileId};
+use dms_sim::SimRng;
+
+fn kernel() -> f64 {
+    let platform = SchedPlatform::default();
+    let mesh = Mesh2d::new(4, 4).expect("valid");
+    let mut rng = SimRng::new(11);
+    let graph = random_task_graph(40, 3.0, &platform, &mut rng);
+    let placement: Vec<TileId> = (0..40).map(|i| TileId(i % 16)).collect();
+    let edf = EdfScheduler
+        .schedule(&graph, &mesh, &placement, &platform)
+        .expect("valid");
+    let eas = EnergyAwareScheduler
+        .schedule(&graph, &mesh, &placement, &platform)
+        .expect("valid");
+    1.0 - eas.energy_j / edf.energy_j
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_scheduling");
+    group.sample_size(10);
+    group.bench_function("e5 energy-aware scheduling vs EDF", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for experiment e6_modulation: e6 adaptive modulation over a fading trace.
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_sim::SimRng;
+use dms_wireless::channel::FadingChannel;
+use dms_wireless::transceiver::{compare_over_trace, AdaptivePolicy, Transceiver};
+
+fn kernel() -> f64 {
+    let radio = Transceiver::default_radio().expect("preset valid");
+    let policy = AdaptivePolicy::new(1e-5).expect("valid");
+    let trace = FadingChannel::indoor()
+        .expect("preset valid")
+        .snr_trace_db(10_000, &mut SimRng::new(11));
+    compare_over_trace(&radio, &policy, &trace, 10_000).saving()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_modulation");
+    group.sample_size(10);
+    group.bench_function("e6 adaptive modulation over a fading trace", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

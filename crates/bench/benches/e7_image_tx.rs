@@ -1,0 +1,35 @@
+//! Criterion bench for experiment e7_image_tx: e7 joint source-channel optimisation.
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_media::image::ImageModel;
+use dms_sim::SimRng;
+use dms_wireless::channel::FadingChannel;
+use dms_wireless::jscc::JsccOptimizer;
+use dms_wireless::transceiver::Transceiver;
+
+fn kernel() -> f64 {
+    let image = ImageModel::new(256, 256, 2500.0).expect("valid");
+    let radio = Transceiver::default_radio().expect("preset valid");
+    let optimizer = JsccOptimizer::new(image, radio, 32.0).expect("valid target");
+    let trace = FadingChannel::new(22.0, 3.0, 0.9)
+        .expect("valid")
+        .snr_trace_db(50, &mut SimRng::new(13));
+    optimizer.compare_over_trace(&trace).saving()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_image_tx");
+    group.sample_size(10);
+    group.bench_function("e7 joint source-channel optimisation", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for experiment e8_fgs_streaming: e8 FGS streaming with client feedback.
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_media::fgs::FgsEncoder;
+use dms_media::trace_gen::VideoTraceGenerator;
+use dms_sim::SimRng;
+use dms_wireless::fgs::{FgsStreamer, StreamingPolicy};
+
+fn kernel() -> f64 {
+    let generator = VideoTraceGenerator::cif_mpeg2().expect("preset valid");
+    let encoder = FgsEncoder::streaming_default().expect("preset valid");
+    let frames = encoder.encode(&generator, 1_000, &mut SimRng::new(21));
+    let streamer = FgsStreamer::xscale_client().expect("preset valid");
+    let full = streamer.stream(&frames, StreamingPolicy::FullRate);
+    let smart = streamer.stream(&frames, StreamingPolicy::ClientFeedback);
+    1.0 - smart.comm_energy_j / full.comm_energy_j
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_fgs_streaming");
+    group.sample_size(10);
+    group.bench_function("e8 FGS streaming with client feedback", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

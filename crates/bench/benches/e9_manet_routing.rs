@@ -1,0 +1,29 @@
+//! Criterion bench for experiment e9_manet_routing: e9 MANET lifetime (battery-cost vs min-power).
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_manet::lifetime::{run_lifetime, LifetimeConfig};
+use dms_manet::routing::Protocol;
+
+fn kernel() -> f64 {
+    let cfg = LifetimeConfig::small();
+    let mpr = run_lifetime(&cfg, Protocol::MinimumPower, 1).expect("valid");
+    let bc = run_lifetime(&cfg, Protocol::BatteryCost, 1).expect("valid");
+    bc.lifetime_rounds as f64 / mpr.lifetime_rounds as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_manet_routing");
+    group.sample_size(10);
+    group.bench_function("e9 MANET lifetime (battery-cost vs min-power)", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

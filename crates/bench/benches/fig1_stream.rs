@@ -1,0 +1,29 @@
+//! Criterion bench for experiment fig1_stream: fig1 decoder pipeline (10k packets).
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_media::mpeg2::{DecoderConfig, DecoderPipelineSim};
+
+fn kernel() -> u64 {
+    let mut cfg = DecoderConfig::default();
+    cfg.packet_count = 10_000;
+    DecoderPipelineSim::run(cfg, 11)
+        .expect("valid config")
+        .displayed
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_stream");
+    group.sample_size(10);
+    group.bench_function("fig1 decoder pipeline (10k packets)", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for experiment fig2_design_flow: fig2 full design flow (voice recognition).
+//!
+//! Regenerating the full paper-vs-measured row lives in
+//! `cargo run -p dms-bench --bin experiments`; this bench times the
+//! underlying kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dms_asip::flow::{DesignFlow, FlowConstraints};
+use dms_asip::workloads;
+
+fn kernel() -> f64 {
+    let program = workloads::voice_recognition(256, 4, 4).expect("valid dims");
+    let memory = workloads::voice_test_memory(256, 4, 4, 1 << 16);
+    DesignFlow::new(FlowConstraints::default())
+        .run_with_memory(&program, memory)
+        .expect("flow runs")
+        .speedup
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_design_flow");
+    group.sample_size(10);
+    group.bench_function("fig2 full design flow (voice recognition)", |b| {
+        b.iter(|| black_box(kernel()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Prints every reproduced experiment as a paper-vs-measured table.
+//!
+//! Run with: `cargo run --release -p dms-bench --bin experiments`
+//!
+//! The output of this binary is the source of `EXPERIMENTS.md`.
+
+fn main() {
+    println!("# dms experiment reproductions (seeded, deterministic)\n");
+    for exp in dms_bench::all_experiments() {
+        println!("## {} — {}\n", exp.id, exp.title);
+        println!("| metric | paper | measured |");
+        println!("|--------|-------|----------|");
+        for row in &exp.rows {
+            println!("| {} | {} | {} |", row.metric, row.paper, row.measured);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,842 @@
+//! # dms-bench — experiment reproductions
+//!
+//! One function per quantitative claim or figure of the paper (see
+//! `DESIGN.md` for the experiment index). Each returns an
+//! [`Experiment`] of paper-vs-measured rows; the `experiments` binary
+//! prints them all, and the Criterion benches in `benches/` time the
+//! underlying kernels.
+//!
+//! Seeds are fixed so every number here is reproducible bit-for-bit.
+
+use dms_ambient::smartspace::SmartSpace;
+use dms_analysis::{
+    aggregate_variance_hurst, FractionalGaussianNoise, PoissonArrivals, ProducerConsumerChain,
+};
+use dms_asip::flow::{DesignFlow, FlowConstraints};
+use dms_asip::workloads;
+use dms_manet::lifetime::{run_lifetime, LifetimeConfig};
+use dms_manet::routing::Protocol;
+use dms_media::fgs::FgsEncoder;
+use dms_media::image::ImageModel;
+use dms_media::mpeg2::{DecoderConfig, DecoderPipelineSim};
+use dms_media::trace_gen::VideoTraceGenerator;
+use dms_noc::mapping::{CoreGraph, Mapper};
+use dms_noc::queueing::SlottedQueueSim;
+use dms_noc::sched::{random_task_graph, EdfScheduler, EnergyAwareScheduler, SchedPlatform};
+use dms_noc::sim::{NocConfig, NocSim};
+use dms_noc::topology::{Mesh2d, TileId};
+use dms_noc::traffic::InjectionProcess;
+use dms_sim::SimRng;
+use dms_wireless::channel::FadingChannel;
+use dms_wireless::fgs::{FgsStreamer, StreamingPolicy};
+use dms_wireless::jscc::JsccOptimizer;
+use dms_wireless::transceiver::{compare_over_trace, AdaptivePolicy, Transceiver};
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Metric name.
+    pub metric: String,
+    /// What the paper reports (or implies).
+    pub paper: String,
+    /// What this reproduction measures.
+    pub measured: String,
+}
+
+impl Row {
+    fn new(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+    ) -> Self {
+        Row {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+        }
+    }
+}
+
+/// One reproduced experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Experiment id from DESIGN.md (F1, E1, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The comparison rows.
+    pub rows: Vec<Row>,
+}
+
+/// F1 — the Fig. 1 decoder pipeline: buffer utilisation and stability.
+#[must_use]
+pub fn fig1_stream() -> Experiment {
+    let mut cfg = DecoderConfig::default();
+    cfg.packet_count = 20_000;
+    let r = DecoderPipelineSim::run(cfg, 11).expect("valid config");
+    Experiment {
+        id: "F1",
+        title: "Fig.1(b) MPEG-2 decoder pipeline: B2-B4 buffer utilisation",
+        rows: vec![
+            Row::new(
+                "B3 average occupancy (tokens)",
+                "non-degenerate (\"very important\" §2.1)",
+                format!("{:.2} of 16", r.b3_avg),
+            ),
+            Row::new(
+                "B4 average occupancy (tokens)",
+                "non-degenerate",
+                format!("{:.2} of 16", r.b4_avg),
+            ),
+            Row::new(
+                "frames displayed",
+                "all (stable pipeline)",
+                format!("{}/20000", r.displayed),
+            ),
+            Row::new(
+                "CPU utilisation",
+                "high but < 1",
+                format!("{:.1}%", r.cpu_utilization * 100.0),
+            ),
+        ],
+    }
+}
+
+/// F2 — the Fig. 2 design flow executed end to end.
+#[must_use]
+pub fn fig2_design_flow() -> Experiment {
+    let (n, tones, templates) = (512, 8, 8);
+    let program = workloads::voice_recognition(n, tones, templates).expect("valid dims");
+    let memory = workloads::voice_test_memory(n, tones, templates, 1 << 16);
+    let report = DesignFlow::new(FlowConstraints::default())
+        .run_with_memory(&program, memory)
+        .expect("flow runs");
+    Experiment {
+        id: "F2",
+        title:
+            "Fig.2 extensible-processor design flow (profile->identify->define->retarget->verify)",
+        rows: vec![
+            Row::new(
+                "flow completes",
+                "yes (iterated to constraints)",
+                format!("yes, {} iteration(s)", report.iterations),
+            ),
+            Row::new(
+                "retargeted semantics",
+                "must match base core",
+                if report.verified {
+                    "bit-identical".into()
+                } else {
+                    "MISMATCH".to_string()
+                },
+            ),
+            Row::new(
+                "adopted extensions",
+                "designer-defined set",
+                format!("{:?}", report.adopted),
+            ),
+        ],
+    }
+}
+
+/// E1 — voice recognition: 5–10× at <10 instructions, <200k gates.
+#[must_use]
+pub fn e1_asip_speedup() -> Experiment {
+    let (n, tones, templates) = (512, 8, 8);
+    let program = workloads::voice_recognition(n, tones, templates).expect("valid dims");
+    let memory = workloads::voice_test_memory(n, tones, templates, 1 << 16);
+    let report = DesignFlow::new(FlowConstraints::default())
+        .run_with_memory(&program, memory)
+        .expect("flow runs");
+    Experiment {
+        id: "E1",
+        title: "Voice-recognition ASIP customisation (§3.1)",
+        rows: vec![
+            Row::new("speed-up", "5x-10x", format!("{:.2}x", report.speedup)),
+            Row::new(
+                "custom instructions",
+                "< 10",
+                format!("{}", report.custom_instructions),
+            ),
+            Row::new(
+                "total gate count",
+                "< 200k",
+                format!("{}", report.total_gates),
+            ),
+        ],
+    }
+}
+
+/// E2 — self-similar vs Markovian traffic through a router buffer.
+#[must_use]
+pub fn e2_traffic() -> Experiment {
+    let mut rng = SimRng::new(97);
+    let n = 30_000;
+    let mean = 3.0;
+    let poisson = PoissonArrivals::new(mean)
+        .expect("valid")
+        .generate(n, &mut rng);
+    let fgn = FractionalGaussianNoise::new(0.85).expect("valid");
+    let lrd = fgn.generate_counts(n, mean, 2.5, &mut rng);
+    let h_poisson = aggregate_variance_hurst(&poisson).unwrap_or(f64::NAN);
+    let h_lrd = aggregate_variance_hurst(&lrd).unwrap_or(f64::NAN);
+    let queue = SlottedQueueSim::new(16, mean * 1.25).expect("valid");
+    let rp = queue.run(&poisson);
+    let rl = queue.run(&lrd);
+    Experiment {
+        id: "E2",
+        title: "Self-similar vs Markovian traffic: queueing at a router buffer (§3.2)",
+        rows: vec![
+            Row::new(
+                "Hurst (Poisson)",
+                "~0.5 (short-range dependent)",
+                format!("{h_poisson:.2}"),
+            ),
+            Row::new(
+                "Hurst (fGn H=0.85)",
+                "~0.85 (long-range dependent)",
+                format!("{h_lrd:.2}"),
+            ),
+            Row::new(
+                "loss rate at util 0.8, buffer 16",
+                "drastically higher under LRD",
+                format!(
+                    "Poisson {:.4} vs LRD {:.4} ({:.0}x)",
+                    rp.loss_rate(),
+                    rl.loss_rate(),
+                    rl.loss_rate() / rp.loss_rate().max(1e-9)
+                ),
+            ),
+            Row::new(
+                "buffer >90% full",
+                "far more often under LRD",
+                format!(
+                    "{:.2}% vs {:.2}% of slots",
+                    rp.high_watermark_fraction * 100.0,
+                    rl.high_watermark_fraction * 100.0
+                ),
+            ),
+        ],
+    }
+}
+
+/// E3 — energy-aware NoC mapping vs ad-hoc/random baselines.
+#[must_use]
+pub fn e3_noc_mapping() -> Experiment {
+    let graph = CoreGraph::vopd();
+    let mesh = Mesh2d::new(4, 4).expect("valid");
+    let mapper = Mapper::new(&graph, &mesh).expect("fits");
+    let adhoc = mapper.energy(&mapper.ad_hoc()).expect("valid");
+    let random_avg: f64 = (0..10)
+        .map(|s| mapper.energy(&mapper.random(s)).expect("valid"))
+        .sum::<f64>()
+        / 10.0;
+    let sa = mapper
+        .energy(&mapper.simulated_annealing(7))
+        .expect("valid");
+    Experiment {
+        id: "E3",
+        title: "Energy-aware mapping of a video/audio app onto a 4x4 NoC (§3.3, [20])",
+        rows: vec![
+            Row::new(
+                "saving vs communication-oblivious mapping",
+                "> 50%",
+                format!("{:.1}% vs random-average", (1.0 - sa / random_avg) * 100.0),
+            ),
+            Row::new(
+                "saving vs identity placement",
+                "(identity is accidentally pipeline-friendly)",
+                format!("{:.1}%", (1.0 - sa / adhoc) * 100.0),
+            ),
+        ],
+    }
+}
+
+/// E4 — packet-size exploration.
+#[must_use]
+pub fn e4_packet_size() -> Experiment {
+    let mut rows = Vec::new();
+    let mut best: Option<(u64, f64)> = None;
+    let mut small_latency = 0.0;
+    let mut large_latency = 0.0;
+    for payload in [8u64, 64, 512] {
+        let mut cfg = NocConfig::mesh4x4();
+        cfg.payload_bytes = payload;
+        cfg.injection = InjectionProcess::Bernoulli {
+            p: 0.64 / payload as f64,
+        };
+        cfg.inject_cycles = 15_000;
+        cfg.drain_cycles = 15_000;
+        let r = NocSim::run(cfg, 7).expect("valid");
+        if payload == 8 {
+            small_latency = r.mean_latency_cycles;
+        }
+        if payload == 512 {
+            large_latency = r.mean_latency_cycles;
+        }
+        if best.is_none_or(|(_, e)| r.energy_per_byte_pj < e) {
+            best = Some((payload, r.energy_per_byte_pj));
+        }
+        rows.push(Row::new(
+            format!("{payload} B packets: energy/byte, latency"),
+            "large packets amortise headers but block links",
+            format!(
+                "{:.2} pJ/B, {:.1} cycles",
+                r.energy_per_byte_pj, r.mean_latency_cycles
+            ),
+        ));
+    }
+    rows.push(Row::new(
+        "trade-off direction",
+        "energy favours large, latency favours small",
+        format!(
+            "energy/byte min at {} B; latency grows {:.1}x from 8 B to 512 B",
+            best.expect("swept").0,
+            large_latency / small_latency
+        ),
+    ));
+    Experiment {
+        id: "E4",
+        title: "Packet-size exploration on the NoC (§3.3, [21][22])",
+        rows,
+    }
+}
+
+/// E5 — energy-aware scheduling vs EDF.
+#[must_use]
+pub fn e5_scheduling() -> Experiment {
+    let platform = SchedPlatform::default();
+    let mesh = Mesh2d::new(4, 4).expect("valid");
+    let mut rows = Vec::new();
+    for slack in [1.5f64, 2.0, 3.0] {
+        let mut savings = Vec::new();
+        let mut extra_misses = 0usize;
+        for seed in [11u64, 12, 13, 14, 15] {
+            let mut rng = SimRng::new(seed);
+            let graph = random_task_graph(40, slack, &platform, &mut rng);
+            let placement: Vec<TileId> = (0..40).map(|i| TileId(i % 16)).collect();
+            let edf = EdfScheduler
+                .schedule(&graph, &mesh, &placement, &platform)
+                .expect("valid");
+            let eas = EnergyAwareScheduler
+                .schedule(&graph, &mesh, &placement, &platform)
+                .expect("valid");
+            extra_misses += eas.missed_deadlines.saturating_sub(edf.missed_deadlines);
+            savings.push(1.0 - eas.energy_j / edf.energy_j);
+        }
+        let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+        rows.push(Row::new(
+            format!("energy saving at deadline slack {slack}x"),
+            "> 40% on average for multimedia task sets",
+            format!(
+                "{:.1}% (misses introduced vs EDF: {extra_misses})",
+                avg * 100.0
+            ),
+        ));
+    }
+    Experiment {
+        id: "E5",
+        title: "Energy-aware comm+task scheduling vs EDF (§3.3, [23])",
+        rows,
+    }
+}
+
+/// E6 — dynamic modulation/power scaling.
+#[must_use]
+pub fn e6_modulation() -> Experiment {
+    let radio = Transceiver::default_radio().expect("preset valid");
+    let policy = AdaptivePolicy::new(1e-5).expect("valid");
+    let channel = FadingChannel::indoor().expect("preset valid");
+    let trace = channel.snr_trace_db(20_000, &mut SimRng::new(11));
+    let r = compare_over_trace(&radio, &policy, &trace, 10_000);
+    Experiment {
+        id: "E6",
+        title: "Dynamic modulation/power scaling over a fading channel (§4, [26])",
+        rows: vec![
+            Row::new(
+                "transceiver energy reduction",
+                "~12% average",
+                format!("{:.1}%", r.saving() * 100.0),
+            ),
+            Row::new(
+                "performance penalty",
+                "none appreciable",
+                format!("{} best-effort slots of {}", r.adaptive_outages, r.slots),
+            ),
+        ],
+    }
+}
+
+/// E7 — joint source-channel image transmission.
+#[must_use]
+pub fn e7_image_tx() -> Experiment {
+    let image = ImageModel::new(256, 256, 2500.0).expect("valid");
+    let radio = Transceiver::default_radio().expect("preset valid");
+    let optimizer = JsccOptimizer::new(image, radio, 32.0).expect("valid target");
+    let channel = FadingChannel::new(22.0, 3.0, 0.9).expect("valid");
+    let trace = channel.snr_trace_db(200, &mut SimRng::new(13));
+    let r = optimizer.compare_over_trace(&trace);
+    Experiment {
+        id: "E7",
+        title: "Joint source-channel image transmission vs worst-case design (§4, [27])",
+        rows: vec![
+            Row::new(
+                "average energy saving",
+                "~60% across channel conditions",
+                format!("{:.1}%", r.saving() * 100.0),
+            ),
+            Row::new(
+                "quality misses",
+                "target PSNR always met",
+                format!("{} infeasible states of {}", r.infeasible_states, r.states),
+            ),
+        ],
+    }
+}
+
+/// E8 — energy-aware MPEG-4 FGS streaming.
+#[must_use]
+pub fn e8_fgs_streaming() -> Experiment {
+    let generator = VideoTraceGenerator::cif_mpeg2().expect("preset valid");
+    let encoder = FgsEncoder::streaming_default().expect("preset valid");
+    let frames = encoder.encode(&generator, 1_000, &mut SimRng::new(21));
+    let streamer = FgsStreamer::xscale_client().expect("preset valid");
+    let full = streamer.stream(&frames, StreamingPolicy::FullRate);
+    let smart = streamer.stream(&frames, StreamingPolicy::ClientFeedback);
+    Experiment {
+        id: "E8",
+        title: "Energy-aware MPEG-4 FGS streaming with client feedback (§4.1, [28])",
+        rows: vec![
+            Row::new(
+                "client communication-energy reduction",
+                "~15% average",
+                format!(
+                    "{:.1}%",
+                    (1.0 - smart.comm_energy_j / full.comm_energy_j) * 100.0
+                ),
+            ),
+            Row::new(
+                "video quality",
+                "unchanged (normalised load at unity)",
+                format!(
+                    "{:.2} dB vs {:.2} dB PSNR",
+                    smart.mean_psnr_db, full.mean_psnr_db
+                ),
+            ),
+            Row::new(
+                "normalised decoding load",
+                "driven to 1",
+                format!(
+                    "{:.2} (vs {:.2} full-rate)",
+                    smart.mean_normalized_load, full.mean_normalized_load
+                ),
+            ),
+            Row::new(
+                "client compute energy",
+                "also reduced via DVFS",
+                format!(
+                    "{:.4} J vs {:.4} J",
+                    smart.compute_energy_j, full.compute_energy_j
+                ),
+            ),
+        ],
+    }
+}
+
+/// E9 — MANET energy-aware routing lifetime.
+#[must_use]
+pub fn e9_manet_routing() -> Experiment {
+    let cfg = LifetimeConfig::reference();
+    let seeds = [1u64, 2, 3];
+    let avg = |p: Protocol| -> f64 {
+        seeds
+            .iter()
+            .map(|&s| run_lifetime(&cfg, p, s).expect("valid").lifetime_rounds as f64)
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let mpr = avg(Protocol::MinimumPower);
+    let bc = avg(Protocol::BatteryCost);
+    let lpr = avg(Protocol::LifetimePrediction);
+    Experiment {
+        id: "E9",
+        title: "Energy-aware MANET routing: network lifetime (§4.2, [30-32])",
+        rows: vec![
+            Row::new(
+                "battery-cost routing vs min-power",
+                "> 20% lifetime improvement",
+                format!(
+                    "{:+.1}% ({:.0} vs {:.0} rounds)",
+                    (bc / mpr - 1.0) * 100.0,
+                    bc,
+                    mpr
+                ),
+            ),
+            Row::new(
+                "lifetime-prediction routing vs min-power",
+                "> 20% lifetime improvement",
+                format!(
+                    "{:+.1}% ({:.0} vs {:.0} rounds)",
+                    (lpr / mpr - 1.0) * 100.0,
+                    lpr,
+                    mpr
+                ),
+            ),
+        ],
+    }
+}
+
+/// E10 — steady-state analysis vs simulation.
+#[must_use]
+pub fn e10_steady_state() -> Experiment {
+    // Analytical producer–consumer chain vs a slotted simulation of the
+    // same system.
+    let (p, q, k) = (0.45, 0.5, 8);
+    let chain = ProducerConsumerChain::new(p, q, k).expect("valid");
+    let perf = chain.performance().expect("converges");
+    // Simulate the same slotted system directly.
+    let mut rng = SimRng::new(31);
+    let mut occupancy = 0usize;
+    let mut occ_sum = 0.0;
+    let mut delivered = 0u64;
+    let mut lost = 0u64;
+    let slots = 2_000_000u64;
+    for _ in 0..slots {
+        // Exact slot semantics of the analytical chain: simultaneous
+        // produce+consume passes the token through (state unchanged).
+        let produced = rng.chance(p);
+        let consumed = rng.chance(q);
+        match (produced, consumed) {
+            (true, true) => delivered += 1, // pass-through
+            (true, false) => {
+                if occupancy < k {
+                    occupancy += 1;
+                } else {
+                    lost += 1;
+                }
+            }
+            (false, true) => {
+                if occupancy > 0 {
+                    occupancy -= 1;
+                    delivered += 1;
+                }
+            }
+            (false, false) => {}
+        }
+        occ_sum += occupancy as f64;
+    }
+    let sim_occ = occ_sum / slots as f64;
+    let sim_throughput = delivered as f64 / slots as f64;
+    let sim_loss = lost as f64 / (delivered + lost).max(1) as f64;
+    Experiment {
+        id: "E10",
+        title: "Steady-state analysis vs simulation of a producer-consumer buffer (§2.2)",
+        rows: vec![
+            Row::new(
+                "mean occupancy",
+                format!("analysis: {:.3}", perf.mean_occupancy),
+                format!("simulation: {sim_occ:.3}"),
+            ),
+            Row::new(
+                "throughput/slot",
+                format!("analysis: {:.4}", perf.throughput),
+                format!("simulation: {sim_throughput:.4}"),
+            ),
+            Row::new(
+                "loss rate",
+                format!("analysis: {:.4}", perf.loss_rate),
+                format!("simulation: {sim_loss:.4}"),
+            ),
+        ],
+    }
+}
+
+/// E11 — ambient multimedia under sensor failures.
+#[must_use]
+pub fn e11_ambient() -> Experiment {
+    let space = SmartSpace::home_preset(0.05).expect("preset valid");
+    let fresh = space.evaluate(0.0).expect("converges");
+    let aged = space.evaluate(10.0).expect("converges");
+    let old = space.evaluate(40.0).expect("converges");
+    Experiment {
+        id: "E11",
+        title: "Ambient multimedia: stochastic user + failing sensors (§5, [33][34])",
+        rows: vec![
+            Row::new(
+                "utility at deployment",
+                "ceiling",
+                format!(
+                    "{:.3} ({:.0}% degradation)",
+                    fresh.expected_utility,
+                    fresh.degradation() * 100.0
+                ),
+            ),
+            Row::new(
+                "utility at t=10",
+                "graceful degradation",
+                format!(
+                    "{:.3} ({:.0}% degradation)",
+                    aged.expected_utility,
+                    aged.degradation() * 100.0
+                ),
+            ),
+            Row::new(
+                "utility at t=40",
+                "graceful degradation",
+                format!(
+                    "{:.3} ({:.0}% degradation)",
+                    old.expected_utility,
+                    old.degradation() * 100.0
+                ),
+            ),
+        ],
+    }
+}
+
+/// X1 — lip synchronisation (extension; §2.1's temporal relationship,
+/// not a numbered claim of the paper).
+#[must_use]
+pub fn x1_lip_sync() -> Experiment {
+    use dms_media::sync::LipSyncScenario;
+    let scenario = LipSyncScenario::streaming_default().expect("preset valid");
+    let tolerance = 20.0;
+    let before = scenario.evaluate(0.0, tolerance, 7);
+    let offset = scenario.optimal_offset(tolerance, 7);
+    let after = scenario.evaluate(offset, tolerance, 7);
+    Experiment {
+        id: "X1",
+        title: "Extension: lip-sync skew and sink-side sync buffering (§2.1)",
+        rows: vec![
+            Row::new(
+                "in-sync fraction at ±20 ms, unbuffered",
+                "streams must sync \"at precise time instances\"",
+                format!("{:.1}%", before.in_sync_fraction * 100.0),
+            ),
+            Row::new(
+                "after optimal sync buffer",
+                "buffering trades latency for sync",
+                format!(
+                    "{:.1}% with {:.1} ms of audio buffering",
+                    after.in_sync_fraction * 100.0,
+                    offset
+                ),
+            ),
+        ],
+    }
+}
+
+/// X2 — CTMC transient vs stationary behaviour (extension; the §2.2
+/// timed-formalism machinery exercised end to end).
+#[must_use]
+pub fn x2_ctmc_transient() -> Experiment {
+    use dms_analysis::ContinuousMarkovChain;
+    let chain = ContinuousMarkovChain::birth_death(8, 0.8, 1.0).expect("valid rates");
+    let initial = {
+        let mut v = vec![0.0; 9];
+        v[0] = 1.0;
+        v
+    };
+    let pi = chain.stationary().expect("converges");
+    let l1 = |d: &[f64]| -> f64 { d.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum() };
+    let early = chain.transient(&initial, 1.0).expect("valid");
+    let late = chain.transient(&initial, 50.0).expect("valid");
+    Experiment {
+        id: "X2",
+        title: "Extension: CTMC transient convergence to steady state (§2.2)",
+        rows: vec![
+            Row::new(
+                "L1 distance to pi at t=1",
+                "decays towards 0",
+                format!("{:.4}", l1(&early)),
+            ),
+            Row::new(
+                "L1 distance to pi at t=50",
+                "~0 (steady state reached)",
+                format!("{:.2e}", l1(&late)),
+            ),
+        ],
+    }
+}
+
+/// X3 — flit-level validation of the mapping energy model (extension):
+/// the cycle-accurate NoC simulator, driven by the mapped VOPD traffic,
+/// must agree with the analytical `(h+1)·E_R + h·E_L` model about which
+/// placement is cheaper.
+#[must_use]
+pub fn x3_mapped_validation() -> Experiment {
+    use dms_noc::traffic::MappedTraffic;
+    let graph = CoreGraph::vopd();
+    let mesh = Mesh2d::new(4, 4).expect("valid");
+    let mapper = Mapper::new(&graph, &mesh).expect("fits");
+    let good = mapper.simulated_annealing(3);
+    let bad = mapper.random(1);
+    let mut cfg = NocConfig::mesh4x4();
+    cfg.inject_cycles = 10_000;
+    cfg.drain_cycles = 30_000;
+    let run = |mapping: &dms_noc::mapping::TileMapping| {
+        let traffic =
+            MappedTraffic::from_mapping(&graph, mapping, &mesh, 0.02).expect("VOPD has traffic");
+        NocSim::run_mapped(cfg, &traffic, 43).expect("valid")
+    };
+    let r_good = run(&good);
+    let r_bad = run(&bad);
+    let analytic_good = mapper.energy(&good).expect("valid");
+    let analytic_bad = mapper.energy(&bad).expect("valid");
+    Experiment {
+        id: "X3",
+        title: "Extension: flit-level simulation validates the analytical mapping energy",
+        rows: vec![
+            Row::new(
+                "analytical energy ratio (random / SA)",
+                "> 1 (SA mapping cheaper)",
+                format!("{:.2}", analytic_bad / analytic_good),
+            ),
+            Row::new(
+                "simulated energy/byte ratio (random / SA)",
+                "> 1, same ordering as the model",
+                format!(
+                    "{:.2}",
+                    r_bad.energy_per_byte_pj / r_good.energy_per_byte_pj
+                ),
+            ),
+            Row::new(
+                "simulated busiest-link flits (SA)",
+                "bottleneck identified",
+                format!(
+                    "{} (mean {:.0})",
+                    r_good.max_link_flits, r_good.mean_link_flits
+                ),
+            ),
+        ],
+    }
+}
+
+/// X4 — ARQ retransmission energetics and the optimal wireless packet
+/// size (extension; §2.1's "how much retransmission can be afforded",
+/// the wireless twin of E4).
+#[must_use]
+pub fn x4_arq_packet_size() -> Experiment {
+    use dms_wireless::arq::ArqLink;
+    use dms_wireless::modulation::Modulation;
+    let radio = Transceiver::default_radio().expect("preset valid");
+    let clean = ArqLink::new(1e-5, 64, 8).expect("valid");
+    let noisy = ArqLink::new(1e-3, 64, 8).expect("valid");
+    let (best_clean, e_clean) = clean
+        .optimal_payload_bits(&radio, Modulation::Qpsk, 0.1, 16, 1 << 20)
+        .expect("valid range");
+    let (best_noisy, e_noisy) = noisy
+        .optimal_payload_bits(&radio, Modulation::Qpsk, 0.1, 16, 1 << 20)
+        .expect("valid range");
+    Experiment {
+        id: "X4",
+        title: "Extension: ARQ energetics and optimal wireless packet size (§2.1)",
+        rows: vec![
+            Row::new(
+                "optimal payload at BER 1e-5",
+                "interior optimum (headers vs retransmissions)",
+                format!(
+                    "{} bits ({:.2} nJ/delivered bit)",
+                    best_clean,
+                    e_clean * 1e9
+                ),
+            ),
+            Row::new(
+                "optimal payload at BER 1e-3",
+                "shrinks on noisier links",
+                format!(
+                    "{} bits ({:.2} nJ/delivered bit)",
+                    best_noisy,
+                    e_noisy * 1e9
+                ),
+            ),
+            Row::new(
+                "ordering",
+                "noisy optimum < clean optimum",
+                format!("{}", best_noisy < best_clean),
+            ),
+        ],
+    }
+}
+
+/// Every reproduced experiment in DESIGN.md order, extensions last.
+#[must_use]
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        fig1_stream(),
+        fig2_design_flow(),
+        e1_asip_speedup(),
+        e2_traffic(),
+        e3_noc_mapping(),
+        e4_packet_size(),
+        e5_scheduling(),
+        e6_modulation(),
+        e7_image_tx(),
+        e8_fgs_streaming(),
+        e9_manet_routing(),
+        e10_steady_state(),
+        e11_ambient(),
+        x1_lip_sync(),
+        x2_ctmc_transient(),
+        x3_mapped_validation(),
+        x4_arq_packet_size(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_produces_rows() {
+        for exp in all_experiments() {
+            assert!(!exp.rows.is_empty(), "{} has no rows", exp.id);
+            for row in &exp.rows {
+                assert!(!row.metric.is_empty());
+                assert!(!row.measured.is_empty());
+            }
+        }
+    }
+
+    /// Guards the EXPERIMENTS.md headline numbers: if a model change
+    /// pushes a reproduction out of its claimed band, this test (and CI)
+    /// catches it before the documentation silently goes stale.
+    #[test]
+    fn headline_bands_hold() {
+        // E1: 5–10× speed-up (12 allows model headroom), <10 custom
+        // instructions, <200k gates.
+        let e1 = e1_asip_speedup();
+        let speedup: f64 = e1.rows[0]
+            .measured
+            .trim_end_matches('x')
+            .parse()
+            .expect("speed-up row is a number");
+        assert!((5.0..=12.0).contains(&speedup), "E1 speed-up {speedup}");
+        let instructions: u32 = e1.rows[1].measured.parse().expect("count row");
+        assert!(instructions < 10);
+        let gates: u64 = e1.rows[2].measured.parse().expect("gates row");
+        assert!(gates < 200_000);
+
+        // E3: >40% saving vs the communication-oblivious baseline.
+        let e3 = e3_noc_mapping();
+        let saving: f64 = e3.rows[0]
+            .measured
+            .split('%')
+            .next()
+            .expect("percentage")
+            .parse()
+            .expect("saving row");
+        assert!(saving > 40.0, "E3 saving {saving}%");
+
+        // E9: battery-cost routing improves lifetime by >20%.
+        let e9 = e9_manet_routing();
+        let improvement: f64 = e9.rows[0]
+            .measured
+            .split('%')
+            .next()
+            .expect("percentage")
+            .trim_start_matches('+')
+            .parse()
+            .expect("improvement row");
+        assert!(improvement > 20.0, "E9 improvement {improvement}%");
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared by the modelling front-end.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A referenced process does not exist in the graph.
+    UnknownProcess(usize),
+    /// A referenced channel does not exist in the graph.
+    UnknownChannel(usize),
+    /// A referenced processing element does not exist in the platform.
+    UnknownPe(usize),
+    /// A referenced task does not exist in the task graph.
+    UnknownTask(usize),
+    /// A channel was declared with zero capacity.
+    ZeroCapacityChannel,
+    /// A mapping leaves at least one process unassigned.
+    UnmappedProcess(usize),
+    /// The task graph contains a dependency cycle.
+    CyclicTaskGraph,
+    /// A numeric parameter was not finite/positive where required.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownProcess(id) => write!(f, "unknown process id {id}"),
+            CoreError::UnknownChannel(id) => write!(f, "unknown channel id {id}"),
+            CoreError::UnknownPe(id) => write!(f, "unknown processing element id {id}"),
+            CoreError::UnknownTask(id) => write!(f, "unknown task id {id}"),
+            CoreError::ZeroCapacityChannel => write!(f, "channel capacity must be at least one"),
+            CoreError::UnmappedProcess(id) => write!(f, "process {id} has no mapping"),
+            CoreError::CyclicTaskGraph => write!(f, "task graph contains a cycle"),
+            CoreError::InvalidParameter(what) => {
+                write!(f, "parameter `{what}` must be positive and finite")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            CoreError::UnknownProcess(3).to_string(),
+            "unknown process id 3"
+        );
+        assert!(CoreError::CyclicTaskGraph.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+}

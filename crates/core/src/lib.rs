@@ -1,0 +1,71 @@
+//! # dms-core — system-level modelling front-end
+//!
+//! The paper's design methodology (§2) is the classic Y-chart: model the
+//! **application** as a process graph, model the **architecture** as a
+//! platform of heterogeneous processing elements, **map** one onto the
+//! other, and **evaluate** the mapped system against QoS requirements
+//! and design constraints. This crate provides those four ingredients:
+//!
+//! * [`graph`] — process graphs: processes connected by finite-queue
+//!   channels with Producer–Consumer semantics (Fig. 1 of the paper);
+//! * [`platform`] — heterogeneous platforms of GPP/DSP/ASIC/ASIP
+//!   processing elements with power/frequency operating points;
+//! * [`mapping`] — assignment of processes to processing elements;
+//! * [`qos`] — QoS metrics (latency, jitter, loss rate, throughput,
+//!   energy) with *soft* (probabilistic) requirement semantics;
+//! * [`task`] — deadline-carrying task graphs for the scheduling
+//!   experiments (E5);
+//! * [`queue`] — the finite-length buffer primitive shared by every
+//!   simulator in the workspace;
+//! * [`exec`] — the "evaluate by simulation" arm: executes any mapped
+//!   process graph on the DES kernel with blocking process-network
+//!   semantics and per-PE round-robin scheduling;
+//! * [`ychart`] — the `map → evaluate → iterate` loop and a Pareto-front
+//!   design-space explorer.
+//!
+//! ## Example
+//!
+//! Build a two-process producer–consumer application, a single-CPU
+//! platform, map both processes to the CPU and check the mapping:
+//!
+//! ```
+//! # fn main() -> Result<(), dms_core::CoreError> {
+//! use dms_core::graph::ProcessGraph;
+//! use dms_core::mapping::Mapping;
+//! use dms_core::platform::{PeKind, Platform};
+//!
+//! let mut app = ProcessGraph::new("pc");
+//! let prod = app.add_process("producer", 100);
+//! let cons = app.add_process("consumer", 250);
+//! app.connect(prod, cons, 8, 188)?;
+//!
+//! let mut plat = Platform::new("single-cpu");
+//! let cpu = plat.add_pe("cpu0", PeKind::Gpp, 200e6);
+//!
+//! let mut map = Mapping::new();
+//! map.assign(prod, cpu);
+//! map.assign(cons, cpu);
+//! map.validate(&app, &plat)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod exec;
+pub mod graph;
+pub mod mapping;
+pub mod platform;
+pub mod qos;
+pub mod queue;
+pub mod task;
+pub mod ychart;
+
+pub use error::CoreError;
+pub use exec::{ExecConfig, ExecReport, MappedSystemSim};
+pub use graph::{ChannelId, ProcessGraph, ProcessId};
+pub use mapping::Mapping;
+pub use platform::{PeId, PeKind, Platform};
+pub use qos::{QosReport, QosRequirement};
+pub use queue::FiniteQueue;
+pub use task::{TaskGraph, TaskId};
+pub use ychart::{DesignConstraints, DesignPoint, ParetoFront};

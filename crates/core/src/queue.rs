@@ -1,0 +1,223 @@
+//! Finite-length queues — the buffer primitive of Producer–Consumer
+//! modelling (§2.1 of the paper).
+//!
+//! Communication between multimedia processes "happens through dedicated
+//! buffers that behave like finite-length queues"; the average length of
+//! those buffers "is very important as it reflects their utilization over
+//! time". [`FiniteQueue`] therefore tracks occupancy statistics and drop
+//! counts alongside the payload itself.
+
+use std::collections::VecDeque;
+
+use dms_sim::{SimTime, TimeWeighted};
+
+/// A bounded FIFO queue with occupancy statistics.
+///
+/// # Examples
+///
+/// ```
+/// use dms_core::FiniteQueue;
+/// use dms_sim::SimTime;
+///
+/// let mut q: FiniteQueue<u32> = FiniteQueue::new(2);
+/// assert!(q.push(SimTime::ZERO, 1).is_ok());
+/// assert!(q.push(SimTime::ZERO, 2).is_ok());
+/// assert!(q.push(SimTime::ZERO, 3).is_err()); // full: dropped
+/// assert_eq!(q.pop(SimTime::from_ticks(5)), Some(1));
+/// assert_eq!(q.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FiniteQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+    accepted: u64,
+    occupancy: TimeWeighted,
+}
+
+/// Error returned when pushing to a full [`FiniteQueue`]; carries the
+/// rejected item back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFullError<T>(pub T);
+
+impl<T> std::fmt::Display for QueueFullError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue is at capacity; item rejected")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for QueueFullError<T> {}
+
+impl<T> FiniteQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity channel cannot carry
+    /// data and always indicates a modelling mistake.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least one");
+        FiniteQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            accepted: 0,
+            occupancy: TimeWeighted::new(SimTime::ZERO, 0.0),
+        }
+    }
+
+    /// Maximum number of items the queue can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Attempts to enqueue `item` at simulated time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] (handing the item back) if the queue is
+    /// full; the drop is counted towards [`FiniteQueue::dropped`].
+    pub fn push(&mut self, now: SimTime, item: T) -> Result<(), QueueFullError<T>> {
+        if self.is_full() {
+            self.dropped += 1;
+            return Err(QueueFullError(item));
+        }
+        self.items.push_back(item);
+        self.accepted += 1;
+        self.occupancy.update(now, self.items.len() as f64);
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, or `None` if empty.
+    pub fn pop(&mut self, now: SimTime) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.occupancy.update(now, self.items.len() as f64);
+        }
+        item
+    }
+
+    /// Peeks at the oldest item without removing it.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of items rejected because the queue was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of items successfully enqueued.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Loss rate: dropped / offered (0 if nothing was offered).
+    #[must_use]
+    pub fn loss_rate(&self) -> f64 {
+        let offered = self.accepted + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+
+    /// Time-averaged queue length over `[0, now]` — the "average length
+    /// of these buffers" metric of §2.1.
+    #[must_use]
+    pub fn average_occupancy(&self, now: SimTime) -> f64 {
+        self.occupancy.time_average(now)
+    }
+
+    /// Largest occupancy ever reached.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> f64 {
+        self.occupancy.peak()
+    }
+
+    /// Iterates over queued items front-to-back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = FiniteQueue::new(3);
+        q.push(SimTime::ZERO, 'a').expect("not full");
+        q.push(SimTime::ZERO, 'b').expect("not full");
+        assert_eq!(q.pop(SimTime::ZERO), Some('a'));
+        assert_eq!(q.pop(SimTime::ZERO), Some('b'));
+        assert_eq!(q.pop(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_counts() {
+        let mut q = FiniteQueue::new(1);
+        q.push(SimTime::ZERO, 1).expect("not full");
+        let err = q.push(SimTime::ZERO, 2).expect_err("full");
+        assert_eq!(err.0, 2); // rejected item handed back
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.accepted(), 1);
+        assert!((q.loss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: FiniteQueue<u8> = FiniteQueue::new(0);
+    }
+
+    #[test]
+    fn occupancy_time_average() {
+        let mut q = FiniteQueue::new(4);
+        q.push(SimTime::ZERO, ()).expect("not full");
+        // one item for 10 ticks, then empty for 10 ticks
+        q.pop(SimTime::from_ticks(10));
+        assert!((q.average_occupancy(SimTime::from_ticks(20)) - 0.5).abs() < 1e-12);
+        assert_eq!(q.peak_occupancy(), 1.0);
+    }
+
+    #[test]
+    fn loss_rate_empty_is_zero() {
+        let q: FiniteQueue<u8> = FiniteQueue::new(1);
+        assert_eq!(q.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn front_and_iter() {
+        let mut q = FiniteQueue::new(3);
+        q.push(SimTime::ZERO, 10).expect("ok");
+        q.push(SimTime::ZERO, 20).expect("ok");
+        assert_eq!(q.front(), Some(&10));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![10, 20]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for the MANET substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by MANET construction and experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ManetError {
+    /// A node index is outside the network.
+    UnknownNode(usize),
+    /// A numeric parameter was out of range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for ManetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManetError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            ManetError::InvalidParameter(name) => write!(f, "parameter `{name}` is out of range"),
+        }
+    }
+}
+
+impl Error for ManetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ManetError::UnknownNode(5).to_string().contains('5'));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ManetError>();
+    }
+}

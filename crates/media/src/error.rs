@@ -1,0 +1,57 @@
+//! Error type for media models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the media generators and simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MediaError {
+    /// A probability parameter fell outside `[0, 1]`.
+    InvalidProbability(&'static str, f64),
+    /// A numeric parameter was out of its valid range.
+    InvalidParameter(&'static str),
+    /// The GOP pattern string contains characters other than I/P/B or
+    /// does not start with an I frame.
+    BadGopPattern(String),
+}
+
+impl fmt::Display for MediaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaError::InvalidProbability(name, v) => {
+                write!(f, "probability `{name}` = {v} is outside [0, 1]")
+            }
+            MediaError::InvalidParameter(name) => write!(f, "parameter `{name}` is out of range"),
+            MediaError::BadGopPattern(p) => {
+                write!(
+                    f,
+                    "GOP pattern `{p}` must be I/P/B characters starting with I"
+                )
+            }
+        }
+    }
+}
+
+impl Error for MediaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_offender() {
+        assert!(MediaError::InvalidParameter("fps")
+            .to_string()
+            .contains("fps"));
+        assert!(MediaError::BadGopPattern("XYZ".into())
+            .to_string()
+            .contains("XYZ"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<MediaError>();
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the NoC substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by NoC construction, mapping and scheduling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// Mesh dimensions must be at least 1×1.
+    EmptyMesh,
+    /// A tile id is outside the mesh.
+    UnknownTile(usize),
+    /// The core graph has more cores than the mesh has tiles.
+    TooManyCores { cores: usize, tiles: usize },
+    /// A mapping is not injective or references missing cores/tiles.
+    InvalidMapping(&'static str),
+    /// A numeric parameter was out of range.
+    InvalidParameter(&'static str),
+    /// The task graph contains a cycle (propagated from `dms-core`).
+    CyclicTaskGraph,
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::EmptyMesh => write!(f, "mesh dimensions must be at least 1×1"),
+            NocError::UnknownTile(id) => write!(f, "unknown tile id {id}"),
+            NocError::TooManyCores { cores, tiles } => {
+                write!(f, "{cores} cores cannot be mapped onto {tiles} tiles")
+            }
+            NocError::InvalidMapping(why) => write!(f, "invalid mapping: {why}"),
+            NocError::InvalidParameter(name) => write!(f, "parameter `{name}` is out of range"),
+            NocError::CyclicTaskGraph => write!(f, "task graph contains a cycle"),
+        }
+    }
+}
+
+impl Error for NocError {}
+
+impl From<dms_core::CoreError> for NocError {
+    fn from(e: dms_core::CoreError) -> Self {
+        match e {
+            dms_core::CoreError::CyclicTaskGraph => NocError::CyclicTaskGraph,
+            _ => NocError::InvalidParameter("core model"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NocError::TooManyCores {
+            cores: 20,
+            tiles: 16
+        }
+        .to_string()
+        .contains("20"));
+        assert!(NocError::EmptyMesh.to_string().contains("1×1"));
+    }
+
+    #[test]
+    fn converts_core_errors() {
+        let e: NocError = dms_core::CoreError::CyclicTaskGraph.into();
+        assert_eq!(e, NocError::CyclicTaskGraph);
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<NocError>();
+    }
+}

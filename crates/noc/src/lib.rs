@@ -1,0 +1,65 @@
+//! # dms-noc — network-on-chip substrate
+//!
+//! §3.2–§3.3 of the paper: future multimedia SoCs integrate hundreds of
+//! heterogeneous tiles whose communication is carried by a regular
+//! network-on-chip; the key design problems are **mapping** IPs to
+//! tiles, **routing**, buffer sizing under **self-similar traffic**,
+//! **packet sizing**, and **energy-aware scheduling**. This crate builds
+//! that whole substrate:
+//!
+//! * [`topology`] — 2-D mesh, tile coordinates, deterministic XY routes;
+//! * [`energy`] — the bit-energy model `E_bit = n_routers·E_R + n_links·E_L`
+//!   used by every optimisation;
+//! * [`packet`] — packets and flits;
+//! * [`sim`] — a cycle-accurate, flit-level wormhole-routing mesh
+//!   simulator with credit-based flow control and round-robin switch
+//!   allocation;
+//! * [`traffic`] — injection processes (Bernoulli/Poisson, self-similar
+//!   ON/OFF) and spatial patterns (uniform, hotspot, transpose, neighbour);
+//! * [`queueing`] — slotted single-buffer simulation used to contrast
+//!   Markovian against long-range-dependent input (experiment E2);
+//! * [`mapping`] — energy-aware IP-to-tile mapping (greedy, simulated
+//!   annealing, exact branch-and-bound) against ad-hoc baselines, with a
+//!   VOPD-class video/audio benchmark graph (experiment E3);
+//! * [`sched`] — energy-aware communication+task scheduling with DVS
+//!   slack reclamation against a plain-EDF baseline (experiment E5).
+//!
+//! ## Example
+//!
+//! Map a video pipeline onto a 4×4 mesh and compare communication energy
+//! against a naive placement:
+//!
+//! ```
+//! use dms_noc::mapping::{CoreGraph, Mapper};
+//! use dms_noc::topology::Mesh2d;
+//!
+//! # fn main() -> Result<(), dms_noc::NocError> {
+//! let graph = CoreGraph::vopd();
+//! let mesh = Mesh2d::new(4, 4)?;
+//! let mapper = Mapper::new(&graph, &mesh)?;
+//! let adhoc = mapper.ad_hoc();
+//! let optimized = mapper.simulated_annealing(42);
+//! assert!(mapper.energy(&optimized)? <= mapper.energy(&adhoc)?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod energy;
+pub mod error;
+pub mod mapping;
+pub mod packet;
+pub mod queueing;
+pub mod sched;
+pub mod sim;
+pub mod topology;
+pub mod traffic;
+
+pub use energy::BitEnergyModel;
+pub use error::NocError;
+pub use mapping::{CoreGraph, Mapper, TileMapping};
+pub use packet::{Flit, FlitKind, Packet};
+pub use queueing::{SlottedQueueReport, SlottedQueueSim};
+pub use sched::{EdfScheduler, EnergyAwareScheduler, ScheduleReport};
+pub use sim::{NocConfig, NocReport, NocSim, RoutingAlgorithm};
+pub use topology::{Direction, Mesh2d, TileId};
+pub use traffic::{InjectionProcess, MappedTraffic, TrafficPattern};

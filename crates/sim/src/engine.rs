@@ -1,0 +1,340 @@
+//! The discrete-event engine: event queue, model trait and run loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled for execution at a given time.
+///
+/// Events at equal times fire in insertion order (FIFO), which makes
+/// simulations deterministic regardless of heap internals.
+#[derive(Debug)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotone sequence number used as a FIFO tie-breaker.
+    pub seq: u64,
+    /// The model-defined payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A pending-event set ordered by `(time, insertion order)`.
+///
+/// # Examples
+///
+/// ```
+/// use dms_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ticks(5), "late");
+/// q.schedule(SimTime::from_ticks(1), "early");
+/// let ev = q.pop().expect("non-empty");
+/// assert_eq!(ev.payload, "early");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// Events scheduled for the same time fire in the order they were
+    /// scheduled.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop()
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// A simulation model: owns the system state and reacts to events.
+///
+/// The engine calls [`Model::handle`] once per event; the model mutates
+/// its state and may schedule follow-up events on the queue it is handed.
+/// See the [crate-level example](crate) for a complete model.
+pub trait Model {
+    /// The event payload type this model understands.
+    type Event;
+
+    /// Processes one event occurring at `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// The simulation driver: repeatedly pops the earliest event and
+/// dispatches it to the model.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate) for a runnable example.
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine around `model` with an empty event queue and
+    /// the clock at [`SimTime::ZERO`].
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last processed event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Mutable access to the event queue (e.g. to seed initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
+        &mut self.queue
+    }
+
+    /// Consumes the engine and returns the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Processes a single event if one is pending.
+    ///
+    /// Returns `true` if an event was processed.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(
+                    ev.time >= self.now,
+                    "event queue released an event from the past"
+                );
+                self.now = ev.time;
+                self.processed += 1;
+                self.model.handle(self.now, ev.payload, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `horizon`. Events *at* the horizon are processed.
+    ///
+    /// Returns the number of events processed by this call.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let start = self.processed;
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step();
+        }
+        self.processed - start
+    }
+
+    /// Runs until the queue drains or `max_events` have been processed
+    /// by this call, whichever comes first.
+    ///
+    /// Returns the number of events processed by this call.
+    pub fn run_events(&mut self, max_events: u64) -> u64 {
+        let start = self.processed;
+        while self.processed - start < max_events && self.step() {}
+        self.processed - start
+    }
+
+    /// Runs until the queue is fully drained.
+    ///
+    /// Returns the number of events processed by this call. Use with
+    /// models that are guaranteed to quiesce; otherwise prefer
+    /// [`Engine::run_until`].
+    pub fn run_to_completion(&mut self) -> u64 {
+        let start = self.processed;
+        while self.step() {}
+        self.processed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, _q: &mut EventQueue<u32>) {
+            self.seen.push((now.ticks(), ev));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.queue_mut().schedule(SimTime::from_ticks(30), 3);
+        eng.queue_mut().schedule(SimTime::from_ticks(10), 1);
+        eng.queue_mut().schedule(SimTime::from_ticks(20), 2);
+        eng.run_to_completion();
+        assert_eq!(eng.model().seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        for i in 0..100 {
+            eng.queue_mut().schedule(SimTime::from_ticks(7), i);
+        }
+        eng.run_to_completion();
+        let values: Vec<u32> = eng.model().seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_is_inclusive_of_horizon() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.queue_mut().schedule(SimTime::from_ticks(5), 1);
+        eng.queue_mut().schedule(SimTime::from_ticks(6), 2);
+        let n = eng.run_until(SimTime::from_ticks(5));
+        assert_eq!(n, 1);
+        assert_eq!(eng.model().seen, vec![(5, 1)]);
+        assert_eq!(eng.queue_mut().len(), 1);
+    }
+
+    #[test]
+    fn run_events_caps_processing() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        for i in 0..10 {
+            eng.queue_mut().schedule(SimTime::from_ticks(i), i as u32);
+        }
+        assert_eq!(eng.run_events(4), 4);
+        assert_eq!(eng.processed(), 4);
+        assert_eq!(eng.run_events(100), 6);
+    }
+
+    #[test]
+    fn clock_tracks_last_event() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        eng.queue_mut().schedule(SimTime::from_ticks(42), 0);
+        eng.run_to_completion();
+        assert_eq!(eng.now(), SimTime::from_ticks(42));
+    }
+
+    struct SelfScheduler {
+        remaining: u32,
+    }
+
+    impl Model for SelfScheduler {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _ev: (), q: &mut EventQueue<()>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                q.schedule(now + SimTime::from_ticks(1), ());
+            }
+        }
+    }
+
+    #[test]
+    fn models_can_schedule_followups() {
+        let mut eng = Engine::new(SelfScheduler { remaining: 5 });
+        eng.queue_mut().schedule(SimTime::ZERO, ());
+        let n = eng.run_to_completion();
+        assert_eq!(n, 6); // initial event + 5 follow-ups
+        assert_eq!(eng.now(), SimTime::from_ticks(5));
+    }
+
+    #[test]
+    fn empty_queue_reports_idle() {
+        let mut eng = Engine::new(Recorder { seen: vec![] });
+        assert!(!eng.step());
+        assert_eq!(eng.run_until(SimTime::MAX), 0);
+    }
+}

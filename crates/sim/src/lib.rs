@@ -1,0 +1,54 @@
+//! # dms-sim — discrete-event simulation kernel
+//!
+//! Foundation of the `dms` framework: a deterministic, single-threaded
+//! discrete-event simulation (DES) kernel, seeded random-number utilities
+//! and online statistics.
+//!
+//! Every simulator in the workspace (NoC routers, wireless channels,
+//! MANET nodes, media pipelines) is driven by [`Engine`], which pops
+//! events off an [`EventQueue`] in `(time, insertion-order)` order and
+//! dispatches them to a user-supplied [`Model`]. Because ties are broken
+//! by insertion order and all randomness flows through [`SimRng`]
+//! sub-streams, a simulation with a fixed seed is bit-reproducible.
+//!
+//! ## Example
+//!
+//! A two-event "ping/pong" model:
+//!
+//! ```
+//! use dms_sim::{Engine, EventQueue, Model, SimTime};
+//!
+//! #[derive(Debug)]
+//! enum Msg { Ping, Pong }
+//!
+//! #[derive(Default)]
+//! struct PingPong { pings: u32, pongs: u32 }
+//!
+//! impl Model for PingPong {
+//!     type Event = Msg;
+//!     fn handle(&mut self, now: SimTime, ev: Msg, q: &mut EventQueue<Msg>) {
+//!         match ev {
+//!             Msg::Ping => { self.pings += 1; q.schedule(now + SimTime::from_ticks(1), Msg::Pong); }
+//!             Msg::Pong => { self.pongs += 1; }
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(PingPong::default());
+//! engine.queue_mut().schedule(SimTime::ZERO, Msg::Ping);
+//! engine.run_until(SimTime::from_ticks(10));
+//! assert_eq!(engine.model().pings, 1);
+//! assert_eq!(engine.model().pongs, 1);
+//! ```
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, EventQueue, Model, ScheduledEvent};
+pub use rng::SimRng;
+pub use stats::{Autocorrelation, ConfidenceInterval, Histogram, OnlineStats, TimeWeighted};
+pub use time::SimTime;
+pub use trace::{Trace, TraceSample};

@@ -1,0 +1,173 @@
+//! Simulation time.
+//!
+//! Time is kept as an integer tick count ([`SimTime`]) so that event
+//! ordering is exact and reproducible — floating-point time would make
+//! tie-breaking platform-dependent. The interpretation of one tick
+//! (nanosecond, cycle, slot) is chosen by each simulator; helpers for a
+//! nanosecond interpretation are provided because most of the `dms`
+//! simulators use it.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in integer ticks.
+///
+/// `SimTime` is a transparent newtype over `u64` ([C-NEWTYPE]); arithmetic
+/// saturates on overflow so that a runaway schedule cannot wrap around and
+/// corrupt event ordering.
+///
+/// # Examples
+///
+/// ```
+/// use dms_sim::SimTime;
+/// let t = SimTime::from_ticks(5) + SimTime::from_ticks(3);
+/// assert_eq!(t.ticks(), 8);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; useful as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Interprets the tick count as nanoseconds and converts to seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Creates a time from seconds, interpreting ticks as nanoseconds.
+    ///
+    /// Negative or non-finite inputs saturate to [`SimTime::ZERO`].
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((secs * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Saturating addition of a tick delta.
+    #[must_use]
+    pub const fn saturating_add(self, delta: u64) -> Self {
+        SimTime(self.0.saturating_add(delta))
+    }
+
+    /// Returns the elapsed ticks since `earlier`, or zero if `earlier`
+    /// is in the future.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+}
+
+impl From<SimTime> for u64 {
+    fn from(t: SimTime) -> u64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_ticks() {
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+        assert_eq!(SimTime::ZERO, SimTime::from_ticks(0));
+        assert!(SimTime::MAX > SimTime::from_ticks(u64::MAX - 1));
+    }
+
+    #[test]
+    fn addition_saturates() {
+        let t = SimTime::MAX + SimTime::from_ticks(10);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(SimTime::MAX.saturating_add(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let t = SimTime::from_ticks(3) - SimTime::from_ticks(10);
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_ticks(3).saturating_since(SimTime::from_ticks(10)),
+            0
+        );
+        assert_eq!(
+            SimTime::from_ticks(10).saturating_since(SimTime::from_ticks(3)),
+            7
+        );
+    }
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.ticks(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_saturate_on_bad_input() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(SimTime::from_ticks(42).to_string(), "t=42");
+    }
+}

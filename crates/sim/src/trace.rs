@@ -1,0 +1,175 @@
+//! Time-series trace recording.
+//!
+//! A [`Trace`] is an append-only series of `(time, value)` samples used to
+//! carry measured signals between crates: frame sizes out of the media
+//! generators, SNR out of the wireless channel, queue depths out of NoC
+//! routers. Traces can be resampled onto a uniform grid for the
+//! correlation/Hurst analyses in `dms-analysis`.
+
+use crate::time::SimTime;
+
+/// One sample of a recorded signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// The observed value.
+    pub value: f64,
+}
+
+/// An append-only `(time, value)` series with non-decreasing times.
+///
+/// # Examples
+///
+/// ```
+/// use dms_sim::{SimTime, Trace};
+/// let mut tr = Trace::new("queue_depth");
+/// tr.push(SimTime::from_ticks(0), 1.0);
+/// tr.push(SimTime::from_ticks(10), 3.0);
+/// assert_eq!(tr.len(), 2);
+/// assert_eq!(tr.values().last(), Some(&3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    name: String,
+    samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    /// Creates an empty trace with a descriptive name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The trace's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last recorded sample's time.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                time >= last.time,
+                "trace samples must have non-decreasing times"
+            );
+        }
+        self.samples.push(TraceSample { time, value });
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Just the values, in time order.
+    #[must_use]
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.value).collect()
+    }
+
+    /// Resamples the trace onto a uniform grid of `step` ticks using
+    /// zero-order hold (each grid point takes the most recent value).
+    ///
+    /// Returns an empty vector if the trace is empty or `step` is zero.
+    #[must_use]
+    pub fn resample(&self, step: u64) -> Vec<f64> {
+        if self.samples.is_empty() || step == 0 {
+            return Vec::new();
+        }
+        let start = self.samples[0].time.ticks();
+        let end = self.samples.last().expect("non-empty").time.ticks();
+        let mut out = Vec::with_capacity(((end - start) / step + 1) as usize);
+        let mut idx = 0;
+        let mut t = start;
+        while t <= end {
+            while idx + 1 < self.samples.len() && self.samples[idx + 1].time.ticks() <= t {
+                idx += 1;
+            }
+            out.push(self.samples[idx].value);
+            t = t.saturating_add(step);
+        }
+        out
+    }
+
+    /// Sum of all values (useful for totals such as bits transferred).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().map(|s| s.value).sum()
+    }
+}
+
+impl Extend<TraceSample> for Trace {
+    fn extend<I: IntoIterator<Item = TraceSample>>(&mut self, iter: I) {
+        for s in iter {
+            self.push(s.time, s.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut tr = Trace::new("x");
+        tr.push(SimTime::from_ticks(1), 10.0);
+        tr.push(SimTime::from_ticks(1), 11.0); // equal time is allowed
+        tr.push(SimTime::from_ticks(5), 12.0);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.values(), vec![10.0, 11.0, 12.0]);
+        assert_eq!(tr.name(), "x");
+        assert_eq!(tr.sum(), 33.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_push_panics() {
+        let mut tr = Trace::new("x");
+        tr.push(SimTime::from_ticks(5), 1.0);
+        tr.push(SimTime::from_ticks(4), 2.0);
+    }
+
+    #[test]
+    fn resample_zero_order_hold() {
+        let mut tr = Trace::new("x");
+        tr.push(SimTime::from_ticks(0), 1.0);
+        tr.push(SimTime::from_ticks(25), 2.0);
+        tr.push(SimTime::from_ticks(50), 3.0);
+        let grid = tr.resample(10);
+        // t = 0,10,20,30,40,50
+        assert_eq!(grid, vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn resample_edge_cases() {
+        assert!(Trace::new("e").resample(10).is_empty());
+        let mut tr = Trace::new("x");
+        tr.push(SimTime::from_ticks(3), 9.0);
+        assert!(tr.resample(0).is_empty());
+        assert_eq!(tr.resample(5), vec![9.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the DES kernel and statistics.
+
+use dms_sim::{Autocorrelation, Engine, EventQueue, Histogram, Model, OnlineStats, SimTime};
+use proptest::prelude::*;
+
+/// A model that records the order in which payloads arrive.
+struct Recorder {
+    seen: Vec<(u64, u32)>,
+}
+
+impl Model for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, _q: &mut EventQueue<u32>) {
+        self.seen.push((now.ticks(), ev));
+    }
+}
+
+proptest! {
+    /// Events always fire in non-decreasing time order, and equal-time
+    /// events fire in insertion order.
+    #[test]
+    fn event_order_is_time_then_fifo(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut engine = Engine::new(Recorder { seen: vec![] });
+        for (i, &t) in times.iter().enumerate() {
+            engine.queue_mut().schedule(SimTime::from_ticks(t), i as u32);
+        }
+        engine.run_to_completion();
+        let seen = &engine.model().seen;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at t = {}", w[0].0);
+            }
+        }
+    }
+
+    /// run_until(h) processes exactly the events with time <= h.
+    #[test]
+    fn run_until_respects_horizon(
+        times in proptest::collection::vec(0u64..1000, 1..100),
+        horizon in 0u64..1000,
+    ) {
+        let mut engine = Engine::new(Recorder { seen: vec![] });
+        for (i, &t) in times.iter().enumerate() {
+            engine.queue_mut().schedule(SimTime::from_ticks(t), i as u32);
+        }
+        let processed = engine.run_until(SimTime::from_ticks(horizon));
+        let expected = times.iter().filter(|&&t| t <= horizon).count() as u64;
+        prop_assert_eq!(processed, expected);
+    }
+
+    /// Welford statistics match the naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(data in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let stats: OnlineStats = data.iter().copied().collect();
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((stats.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((stats.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(stats.count(), data.len() as u64);
+    }
+
+    /// Merging split statistics equals computing them in one pass.
+    #[test]
+    fn stats_merge_is_associative_with_order(
+        data in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(data.len());
+        let all: OnlineStats = data.iter().copied().collect();
+        let mut left: OnlineStats = data[..split].iter().copied().collect();
+        let right: OnlineStats = data[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-7);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-6);
+    }
+
+    /// Histogram conservation: every sample lands somewhere.
+    #[test]
+    fn histogram_conserves_samples(data in proptest::collection::vec(-10.0f64..110.0, 0..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for &x in &data {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), data.len() as u64);
+        let in_range: u64 = h.bins().iter().sum();
+        prop_assert_eq!(in_range + h.underflow() + h.overflow(), data.len() as u64);
+    }
+
+    /// Histogram quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_monotone(data in proptest::collection::vec(0.0f64..100.0, 10..200)) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &x in &data {
+            h.record(x);
+        }
+        let qs = [0.1, 0.25, 0.5, 0.75, 0.9];
+        let values: Vec<f64> = qs.iter().map(|&q| h.quantile(q).expect("non-empty")).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Autocorrelation values always lie in [-1, 1].
+    #[test]
+    fn autocorrelation_bounded(data in proptest::collection::vec(-100.0f64..100.0, 4..200)) {
+        let acf = Autocorrelation::of(&data, 8);
+        for (lag, &v) in acf.values().iter().enumerate() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "lag {} = {v}", lag + 1);
+        }
+    }
+}

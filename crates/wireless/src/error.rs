@@ -1,0 +1,55 @@
+//! Error type for the wireless substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by wireless models and optimisers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WirelessError {
+    /// A probability parameter fell outside `[0, 1]`.
+    InvalidProbability(&'static str, f64),
+    /// A numeric parameter was out of its valid range.
+    InvalidParameter(&'static str),
+    /// No feasible configuration meets the quality constraint.
+    Infeasible(&'static str),
+}
+
+impl fmt::Display for WirelessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WirelessError::InvalidProbability(name, v) => {
+                write!(f, "probability `{name}` = {v} is outside [0, 1]")
+            }
+            WirelessError::InvalidParameter(name) => {
+                write!(f, "parameter `{name}` is out of range")
+            }
+            WirelessError::Infeasible(what) => {
+                write!(f, "no feasible configuration: {what}")
+            }
+        }
+    }
+}
+
+impl Error for WirelessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_offender() {
+        assert!(WirelessError::InvalidParameter("snr")
+            .to_string()
+            .contains("snr"));
+        assert!(WirelessError::Infeasible("ber target")
+            .to_string()
+            .contains("ber"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<WirelessError>();
+    }
+}

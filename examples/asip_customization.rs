@@ -1,0 +1,53 @@
+//! The Fig. 2 extensible-processor design flow, live.
+//!
+//! Profiles the §3.1 voice-recognition system on the plain base core,
+//! identifies custom instructions, retargets, and verifies the speed-up
+//! / gate-count / instruction-count constraints — then explores how the
+//! result scales with the gate budget.
+//!
+//! Run with: `cargo run --release --example asip_customization`
+
+use dms::asip::flow::{DesignFlow, FlowConstraints};
+use dms::asip::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (samples, tones, templates) = (512, 8, 8);
+    let program = workloads::voice_recognition(samples, tones, templates)?;
+    let memory = workloads::voice_test_memory(samples, tones, templates, 1 << 16);
+
+    println!(
+        "Voice-recognition system: {} instructions, {} samples x {} tones, {} templates\n",
+        program.len(),
+        samples,
+        tones,
+        templates
+    );
+
+    let flow = DesignFlow::new(FlowConstraints::default());
+    let report = flow.run_with_memory(&program, memory.clone())?;
+    println!("Fig. 2 flow with default constraints (<10 instructions, <200k gates):");
+    println!("  base core cycles      : {}", report.base_cycles);
+    println!("  customised cycles     : {}", report.enhanced_cycles);
+    println!("  speed-up              : {:.2}x", report.speedup);
+    println!("  custom instructions   : {}", report.custom_instructions);
+    println!("  total gates           : {}", report.total_gates);
+    println!("  verify-loop iterations: {}", report.iterations);
+    println!("  semantics verified    : {}", report.verified);
+    println!("  adopted               : {:?}", report.adopted);
+
+    println!("\nGate-budget exploration:");
+    println!(
+        "  {:>10} {:>9} {:>8} {:>10}",
+        "budget", "speedup", "#custom", "gates"
+    );
+    for budget in [140_000u64, 160_000, 180_000, 200_000, 240_000] {
+        let mut c = FlowConstraints::default();
+        c.gate_budget = budget;
+        let r = DesignFlow::new(c).run_with_memory(&program, memory.clone())?;
+        println!(
+            "  {:>10} {:>8.2}x {:>8} {:>10}",
+            budget, r.speedup, r.custom_instructions, r.total_gates
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Lip synchronisation: the §2.1 temporal relationship, measured.
+//!
+//! Audio and video units travel independent jittery paths; the skew
+//! between matched units determines perceived sync. A sink-side buffer
+//! that delays the early (audio) stream trades latency for sync — this
+//! example sizes that buffer.
+//!
+//! Run with: `cargo run --release --example lip_sync`
+
+use dms::media::sync::{LipSyncScenario, MediaPath};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = LipSyncScenario::streaming_default()?;
+    println!(
+        "Audio path: {:.0} ms ± {:.0} ms | Video path: {:.0} ms ± {:.0} ms | {} units\n",
+        scenario.audio.mean_delay_ms,
+        scenario.audio.jitter_ms,
+        scenario.video.mean_delay_ms,
+        scenario.video.jitter_ms,
+        scenario.units
+    );
+
+    println!("Sync quality vs tolerance (no sync buffer):");
+    println!(
+        "  {:>12} {:>10} {:>12}",
+        "tolerance", "in-sync", "mean skew"
+    );
+    for tol in [160.0, 80.0, 40.0, 20.0, 10.0] {
+        let r = scenario.evaluate(0.0, tol, 7);
+        println!(
+            "  {:>9} ms {:>9.1}% {:>9.1} ms",
+            tol,
+            r.in_sync_fraction * 100.0,
+            r.mean_skew_ms
+        );
+    }
+
+    let tolerance = 20.0;
+    let offset = scenario.optimal_offset(tolerance, 7);
+    let before = scenario.evaluate(0.0, tolerance, 7);
+    let after = scenario.evaluate(offset, tolerance, 7);
+    println!("\nSink-side sync buffer at ±{tolerance} ms tolerance:");
+    println!("  optimal audio delay : {offset:.1} ms of buffering");
+    println!(
+        "  in-sync fraction    : {:.1}% -> {:.1}%",
+        before.in_sync_fraction * 100.0,
+        after.in_sync_fraction * 100.0
+    );
+
+    // A jitterier network needs a deeper buffer and still does worse.
+    let congested = LipSyncScenario {
+        audio: MediaPath::new(20.0, 3.0, 0.9)?,
+        video: MediaPath::new(45.0, 40.0, 0.95)?,
+        units: 3000,
+    };
+    let c_offset = congested.optimal_offset(tolerance, 7);
+    let c_after = congested.evaluate(c_offset, tolerance, 7);
+    println!("\nSame exercise on a congested network (video jitter 40 ms):");
+    println!("  optimal audio delay : {c_offset:.1} ms");
+    println!(
+        "  in-sync fraction    : {:.1}%",
+        c_after.in_sync_fraction * 100.0
+    );
+    println!("\n(Buffering absorbs constant offset, not jitter — the QoS jitter bound of §2 is what really protects lip-sync.)");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the Fig. 1 multimedia stream, end to end.
+//!
+//! Builds the paper's generic stream — Source → Tx buffer → lossy
+//! Channel → Rx buffer → Sink — over a bursty wireless-like channel,
+//! runs it with and without retransmissions, and checks the measured
+//! QoS against video-stream requirements.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dms::core::qos::{QosReport, QosRequirement};
+use dms::media::stream::{ChannelModel, StreamConfig, StreamSim};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 30 fps video packetised at one packet per tick-decade; the channel
+    // fades in bursts (Gilbert–Elliott automaton of §2.1).
+    let base = StreamConfig {
+        source_interval: 10,
+        packet_count: 30_000,
+        tx_capacity: 16,
+        rx_capacity: 16,
+        sink_interval: 10,
+        channel_service: 5,
+        channel: ChannelModel::bursty_wireless(3),
+        max_retransmissions: 0,
+    };
+
+    println!("Fig. 1 stream over a bursty wireless channel");
+    println!(
+        "(average channel loss = {:.2}%)\n",
+        base.channel.average_loss() * 100.0
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>10}",
+        "retransmissions", "delivered", "loss %", "latency", "jitter"
+    );
+    for retx in [0u32, 1, 2, 4] {
+        let mut cfg = base;
+        cfg.max_retransmissions = retx;
+        let report = StreamSim::run(cfg, 42)?;
+        println!(
+            "{:<16} {:>10} {:>9.2}% {:>9} tk {:>7.1} tk",
+            retx,
+            report.delivered,
+            report.loss_rate() * 100.0,
+            format!("{:.1}", report.mean_latency_ticks),
+            report.jitter_ticks,
+        );
+    }
+
+    // Check the 2-retransmission design point against a soft video QoS
+    // requirement (§2: video tolerates some loss and jitter).
+    let mut cfg = base;
+    cfg.max_retransmissions = 2;
+    let report = StreamSim::run(cfg, 42)?;
+    let tick_s = 1e-9; // interpret ticks as nanoseconds
+    let qos = QosReport {
+        mean_latency_s: report.mean_latency_ticks * tick_s,
+        jitter_s: report.jitter_ticks * tick_s,
+        loss_rate: report.loss_rate(),
+        throughput_per_s: report.delivered as f64 / (report.duration_ticks as f64 * tick_s),
+        energy_j: 0.0,
+        deadline_miss_ratio: 0.0,
+    };
+    let requirement = QosRequirement::new().max_loss_rate(0.02).max_jitter_s(1e-6);
+    match requirement.check(&qos) {
+        Ok(()) => println!("\nQoS check with 2 retransmissions: PASS"),
+        Err(violations) => {
+            println!("\nQoS check with 2 retransmissions: FAIL");
+            for v in violations {
+                println!("  - {v}");
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Traffic self-similarity analysis (§3.2).
+//!
+//! Generates Markovian, fGn and Pareto-ON/OFF traffic plus a synthetic
+//! video trace, estimates the Hurst parameter with all three estimators,
+//! and shows what each process does to a router buffer at identical
+//! utilisation — the §3.2 argument, end to end.
+//!
+//! Run with: `cargo run --release --example traffic_analysis`
+
+use dms::analysis::{
+    aggregate_variance_hurst, periodogram_hurst, rescaled_range_hurst, FractionalGaussianNoise,
+    OnOffAggregate, PoissonArrivals,
+};
+use dms::media::trace_gen::VideoTraceGenerator;
+use dms::noc::queueing::SlottedQueueSim;
+use dms::sim::SimRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SimRng::new(314);
+    let n = 16_384;
+
+    // Build four traffic processes with (roughly) equal means.
+    let poisson = PoissonArrivals::new(3.0)?.generate(n, &mut rng);
+    let fgn = FractionalGaussianNoise::new(0.85)?.generate_counts(n, 3.0, 2.5, &mut rng);
+    let onoff: Vec<f64> = OnOffAggregate::new(6, 1.3, 1.3)?.generate(n, &mut rng);
+    let video: Vec<f64> = VideoTraceGenerator::cif_mpeg2()?
+        .generate_sizes(n, &mut rng)
+        .into_iter()
+        .map(|b| b / 2000.0)
+        .collect();
+
+    println!("Hurst estimation (three estimators, §3.2):\n");
+    println!(
+        "{:<22} {:>8} {:>10} {:>12} {:>13}",
+        "process", "mean", "R/S", "agg. var.", "periodogram"
+    );
+    let traces: [(&str, &Vec<f64>); 4] = [
+        ("Poisson (Markovian)", &poisson),
+        ("fGn H=0.85", &fgn),
+        ("Pareto ON/OFF a=1.3", &onoff),
+        ("video trace", &video),
+    ];
+    for (name, series) in &traces {
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let fmt = |h: Option<f64>| h.map_or("-".into(), |v| format!("{v:.2}"));
+        println!(
+            "{:<22} {:>8.2} {:>10} {:>12} {:>13}",
+            name,
+            mean,
+            fmt(rescaled_range_hurst(series)),
+            fmt(aggregate_variance_hurst(series)),
+            fmt(periodogram_hurst(series)),
+        );
+    }
+
+    println!("\nSame buffer, same utilisation, different tails:");
+    println!(
+        "{:<22} {:>10} {:>14} {:>12}",
+        "process", "loss", ">90% full", "mean occ."
+    );
+    for (name, series) in &traces {
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let queue = SlottedQueueSim::new(16, mean * 1.25)?; // utilisation 0.8
+        let r = queue.run(series);
+        println!(
+            "{:<22} {:>9.4} {:>13.2}% {:>12.2}",
+            name,
+            r.loss_rate(),
+            r.high_watermark_fraction * 100.0,
+            r.mean_occupancy
+        );
+    }
+    println!(
+        "\n=> At the same load, long-range-dependent inputs overwhelm a buffer that\n\
+         Markovian sizing declares safe — the §3.2 case for LRD-aware design."
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! The complete §2 methodology in one loop: model → map → evaluate →
+//! explore.
+//!
+//! Takes the Fig. 1(b) MPEG-2 decoder graph, enumerates mappings onto a
+//! heterogeneous platform (GPP + DSP + IDCT ASIC), evaluates each one by
+//! simulation on the generic mapped-system executor, checks soft QoS
+//! requirements, and keeps the Pareto front of energy vs latency.
+//!
+//! Run with: `cargo run --release --example ychart_exploration`
+
+use dms::core::exec::{ExecConfig, MappedSystemSim};
+use dms::core::mapping::Mapping;
+use dms::core::platform::{PeId, PeKind, Platform};
+use dms::core::qos::QosRequirement;
+use dms::core::ychart::{DesignPoint, ParetoFront};
+use dms::media::mpeg2::decoder_graph;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (graph, [receive, vld, idct, mv, display]) = decoder_graph();
+
+    // A heterogeneous platform: general-purpose core, DSP, and a
+    // fixed-function IDCT accelerator. Voltage tracks frequency, so the
+    // slow parts are the green parts.
+    let mut platform = Platform::new("hetero");
+    let mk_power = |per_ghz: f64, f: f64| per_ghz * (f / 1e9_f64).powi(2) * (f / 1e9);
+    let gpp = platform.add_pe_with_power("gpp", PeKind::Gpp, 1.2e9, mk_power(0.9, 1.2e9), 0.05);
+    let dsp = platform.add_pe_with_power("dsp", PeKind::Dsp, 600e6, mk_power(0.45, 600e6), 0.02);
+    let asic = platform.add_pe_with_power(
+        "idct-asic",
+        PeKind::Asic,
+        400e6,
+        mk_power(0.12, 400e6),
+        0.01,
+    );
+
+    // Candidate mappings: control processes stay on the GPP; VLD, IDCT
+    // and MV rotate over the three PEs.
+    let pes = [gpp, dsp, asic];
+    let qos = QosRequirement::new()
+        .max_latency_s(40e-6)
+        .min_throughput_per_s(25_000.0);
+    let cfg = ExecConfig {
+        source_period: 2_000,
+        tokens: 2_000,
+        tick_s: 1e-9,
+    };
+
+    let mut front = ParetoFront::new();
+    let mut evaluated = 0;
+    let mut admitted = 0;
+    println!(
+        "{:<28} {:>11} {:>11} {:>10} {:>8}",
+        "mapping (vld/idct/mv)", "latency µs", "energy mJ", "thr k/s", "QoS"
+    );
+    for &m_vld in &pes {
+        for &m_idct in &pes {
+            for &m_mv in &pes {
+                let mut mapping = Mapping::new();
+                mapping.assign(receive, gpp);
+                mapping.assign(display, gpp);
+                mapping.assign(vld, m_vld);
+                mapping.assign(idct, m_idct);
+                mapping.assign(mv, m_mv);
+                let r = MappedSystemSim::run(&graph, &platform, &mapping, cfg)?;
+                evaluated += 1;
+                let report = r.to_qos();
+                let ok = qos.check(&report).is_ok();
+                let name = |pe: PeId| platform.pe(pe).map(|p| p.name.clone()).unwrap_or_default();
+                println!(
+                    "{:<28} {:>11.2} {:>11.3} {:>10.1} {:>8}",
+                    format!("{}/{}/{}", name(m_vld), name(m_idct), name(m_mv)),
+                    report.mean_latency_s * 1e6,
+                    report.energy_j * 1e3,
+                    report.throughput_per_s / 1e3,
+                    if ok { "pass" } else { "FAIL" }
+                );
+                if ok {
+                    admitted += 1;
+                    front.offer(DesignPoint {
+                        label: format!("{}/{}/{}", name(m_vld), name(m_idct), name(m_mv)),
+                        qos: report,
+                        gates: 150_000,
+                        unit_cost: 12.0,
+                    });
+                }
+            }
+        }
+    }
+
+    println!("\n{evaluated} mappings evaluated, {admitted} meet the QoS requirement.");
+    println!("Pareto front (energy vs latency):");
+    for p in front.points() {
+        println!(
+            "  {:<28} {:>8.2} µs, {:>8.3} mJ",
+            p.label,
+            p.qos.mean_latency_s * 1e6,
+            p.qos.energy_j * 1e3
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! # dms — distributed multimedia system design, holistically
+//!
+//! A design framework reproducing *Marculescu, Pedram, Henkel,
+//! "Distributed Multimedia System Design: A Holistic Perspective",
+//! DATE 2004*: system-level modelling of multimedia applications and
+//! platforms, with simulators and optimisers for every layer the paper
+//! surveys — on-chip networks, extensible processors, wireless links and
+//! mobile ad hoc networks — all oriented around low power.
+//!
+//! This crate re-exports the workspace's public API:
+//!
+//! * [`sim`] — deterministic discrete-event kernel, RNG, statistics;
+//! * [`core`] — process graphs, platforms, mappings, QoS, the Y-chart;
+//! * [`analysis`] — Markov chains, queueing formulas, self-similar
+//!   traffic, Hurst estimation;
+//! * [`media`] — video traces, the Fig. 1 stream/decoder models,
+//!   MPEG-4 FGS layering, image rate–distortion;
+//! * [`noc`] — 2-D mesh wormhole NoC, energy-aware mapping and
+//!   scheduling, packet-size exploration;
+//! * [`asip`] — extensible-processor platform: ISA, ISS, profiling,
+//!   custom-instruction extension, the Fig. 2 design flow;
+//! * [`wireless`] — modulation/BER, fading channels, adaptive
+//!   transceivers, joint source-channel coding, energy-aware FGS
+//!   streaming, DVFS;
+//! * [`manet`] — ad hoc networks with energy-aware routing and
+//!   network-lifetime evaluation;
+//! * [`ambient`] — stochastic user behaviour and smart-space
+//!   availability under sensor failures.
+//!
+//! ## Quickstart
+//!
+//! Model the paper's Fig. 1 multimedia stream and check it against a
+//! soft QoS requirement:
+//!
+//! ```
+//! use dms::core::qos::QosRequirement;
+//! use dms::media::stream::{ChannelModel, StreamConfig, StreamSim};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = StreamConfig {
+//!     source_interval: 10,
+//!     packet_count: 5_000,
+//!     tx_capacity: 16,
+//!     rx_capacity: 16,
+//!     sink_interval: 10,
+//!     channel_service: 5,
+//!     channel: ChannelModel::bursty_wireless(3),
+//!     max_retransmissions: 2,
+//! };
+//! let report = StreamSim::run(config, 7)?;
+//! let requirement = QosRequirement::new().max_loss_rate(0.05);
+//! assert!(report.loss_rate() < 0.05);
+//! # let _ = requirement;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for complete design studies and
+//! `dms-bench` for the experiment reproductions (one bench per claim of
+//! the paper; see `EXPERIMENTS.md`).
+
+pub use dms_ambient as ambient;
+pub use dms_analysis as analysis;
+pub use dms_asip as asip;
+pub use dms_core as core;
+pub use dms_manet as manet;
+pub use dms_media as media;
+pub use dms_noc as noc;
+pub use dms_sim as sim;
+pub use dms_wireless as wireless;

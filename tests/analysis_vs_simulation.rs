@@ -1,0 +1,112 @@
+//! Integration: analytical steady state against simulation (§2.2).
+//!
+//! "The steady-state behavior of a multimedia system can be estimated
+//! using explicit simulation or analytical methods" — these tests hold
+//! the two to account against each other across crate boundaries.
+
+use dms::analysis::{DiscreteMarkovChain, MM1KQueue, ProducerConsumerChain};
+use dms::noc::queueing::SlottedQueueSim;
+use dms::sim::SimRng;
+
+#[test]
+fn mm1k_blocking_matches_slotted_simulation() {
+    // Slotted Bernoulli arrivals (p per slot) with geometric service
+    // (q per slot) approximate M/M/1/K for small p, q; the analytic
+    // blocking probability should be close.
+    let (p, q, k) = (0.09f64, 0.1f64, 5u32);
+    let analytic = MM1KQueue::new(p, q, k).expect("valid");
+    let mut rng = SimRng::new(404);
+    let mut occupancy = 0u32;
+    let mut offered = 0u64;
+    let mut blocked = 0u64;
+    for _ in 0..3_000_000u64 {
+        if rng.chance(p) {
+            offered += 1;
+            if occupancy >= k {
+                blocked += 1;
+            } else {
+                occupancy += 1;
+            }
+        }
+        if occupancy > 0 && rng.chance(q) {
+            occupancy -= 1;
+        }
+    }
+    let simulated = blocked as f64 / offered as f64;
+    let expected = analytic.blocking_probability();
+    assert!(
+        (simulated - expected).abs() < 0.02,
+        "simulated blocking {simulated:.4} vs analytic {expected:.4}"
+    );
+}
+
+#[test]
+fn producer_consumer_chain_matches_slotted_queue() {
+    // The dms-analysis chain and the dms-noc slotted queue describe the
+    // same system when arrivals are Bernoulli and service is one
+    // unit/slot with probability 1 (p < 1, q = 1 → buffer nearly empty).
+    let chain = ProducerConsumerChain::new(0.6, 1.0, 4).expect("valid");
+    let perf = chain.performance().expect("converges");
+    assert!(perf.loss_rate < 1e-9, "q = 1 consumes everything produced");
+
+    let mut rng = SimRng::new(7);
+    let arrivals: Vec<f64> = (0..100_000)
+        .map(|_| if rng.chance(0.6) { 1.0 } else { 0.0 })
+        .collect();
+    let queue = SlottedQueueSim::new(4, 1.0).expect("valid");
+    let report = queue.run(&arrivals);
+    assert_eq!(report.dropped, 0.0);
+}
+
+#[test]
+fn markov_stationary_agrees_with_long_simulation() {
+    let chain = DiscreteMarkovChain::new(vec![
+        vec![0.5, 0.3, 0.2],
+        vec![0.1, 0.8, 0.1],
+        vec![0.3, 0.3, 0.4],
+    ])
+    .expect("stochastic");
+    let pi = chain.stationary_power_iteration().expect("converges");
+
+    let matrix = chain.transition_matrix().to_vec();
+    let mut rng = SimRng::new(99);
+    let mut state = 0usize;
+    let mut counts = [0u64; 3];
+    let steps = 500_000;
+    for _ in 0..steps {
+        counts[state] += 1;
+        state = rng
+            .weighted_choice(&matrix[state])
+            .expect("rows are stochastic");
+    }
+    for s in 0..3 {
+        let empirical = counts[s] as f64 / steps as f64;
+        assert!(
+            (empirical - pi[s]).abs() < 0.01,
+            "state {s}: simulated {empirical:.4} vs analytic {:.4}",
+            pi[s]
+        );
+    }
+}
+
+#[test]
+fn gauss_seidel_and_power_iteration_agree_on_random_chains() {
+    let mut rng = SimRng::new(1234);
+    for trial in 0..10 {
+        let n = 2 + rng.below(6);
+        // Random strictly-positive rows (ensures ergodicity).
+        let matrix: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let raw: Vec<f64> = (0..n).map(|_| 0.05 + rng.uniform()).collect();
+                let total: f64 = raw.iter().sum();
+                raw.into_iter().map(|x| x / total).collect()
+            })
+            .collect();
+        let chain = DiscreteMarkovChain::new(matrix).expect("normalised rows");
+        let a = chain.stationary_power_iteration().expect("converges");
+        let b = chain.stationary_gauss_seidel().expect("converges");
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-7, "trial {trial}: {x} vs {y}");
+        }
+    }
+}

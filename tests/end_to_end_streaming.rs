@@ -1,0 +1,87 @@
+//! Integration: media encoding → wireless delivery → QoS verdict.
+//!
+//! Spans `dms-media` → `dms-wireless` → `dms-core`: the holistic §4
+//! pipeline in which source coding, channel adaptation and QoS checking
+//! live in one loop.
+
+use dms::core::qos::{QosReport, QosRequirement};
+use dms::media::fgs::FgsEncoder;
+use dms::media::stream::{ChannelModel, StreamConfig, StreamSim};
+use dms::media::trace_gen::VideoTraceGenerator;
+use dms::sim::SimRng;
+use dms::wireless::channel::FadingChannel;
+use dms::wireless::fgs::{FgsStreamer, StreamingPolicy};
+use dms::wireless::transceiver::{AdaptivePolicy, Transceiver};
+
+#[test]
+fn fgs_session_meets_video_qos_while_saving_energy() {
+    let mut rng = SimRng::new(77);
+    let generator = VideoTraceGenerator::cif_mpeg2().expect("preset valid");
+    let encoder = FgsEncoder::streaming_default().expect("preset valid");
+    let frames = encoder.encode(&generator, 600, &mut rng);
+    let streamer = FgsStreamer::xscale_client().expect("preset valid");
+
+    let full = streamer.stream(&frames, StreamingPolicy::FullRate);
+    let smart = streamer.stream(&frames, StreamingPolicy::ClientFeedback);
+
+    // Equal quality, strictly less total client energy.
+    assert!((full.mean_psnr_db - smart.mean_psnr_db).abs() < 1e-9);
+    assert!(smart.total_energy_j() < full.total_energy_j());
+
+    // The delivered quality clears a video QoS floor of 30 dB base +
+    // useful enhancement.
+    assert!(smart.mean_psnr_db > 31.0, "PSNR {}", smart.mean_psnr_db);
+}
+
+#[test]
+fn adaptive_radio_keeps_ber_target_across_the_whole_session() {
+    let radio = Transceiver::default_radio().expect("preset valid");
+    let policy = AdaptivePolicy::new(1e-5).expect("valid");
+    let channel = FadingChannel::indoor().expect("preset valid");
+    let trace = channel.snr_trace_db(5_000, &mut SimRng::new(3));
+    let mut feasible = 0;
+    for &gain in &trace {
+        if let Some(choice) = policy.choose(&radio, gain) {
+            // The chosen pair really meets the BER target.
+            let gamma = choice.tx_power_w * 10f64.powf(gain / 10.0)
+                / f64::from(choice.modulation.bits_per_symbol());
+            assert!(
+                choice.modulation.ber(gamma) <= policy.target_ber() * 1.01,
+                "BER violated at gain {gain}"
+            );
+            feasible += 1;
+        }
+    }
+    assert!(
+        feasible as f64 / trace.len() as f64 > 0.99,
+        "indoor channel should almost always be servable"
+    );
+}
+
+#[test]
+fn packetized_stream_meets_soft_video_requirements() {
+    let cfg = StreamConfig {
+        source_interval: 10,
+        packet_count: 20_000,
+        tx_capacity: 32,
+        rx_capacity: 32,
+        sink_interval: 10,
+        channel_service: 5,
+        channel: ChannelModel::bursty_wireless(3),
+        max_retransmissions: 3,
+    };
+    let report = StreamSim::run(cfg, 5).expect("valid config");
+    let qos = QosReport {
+        mean_latency_s: report.mean_latency_ticks * 1e-9,
+        jitter_s: report.jitter_ticks * 1e-9,
+        loss_rate: report.loss_rate(),
+        throughput_per_s: 1.0 / (cfg.source_interval as f64 * 1e-9),
+        energy_j: 0.0,
+        deadline_miss_ratio: 0.0,
+    };
+    // Video-class softness (§2): tolerate 2% loss, generous jitter.
+    let requirement = QosRequirement::new().max_loss_rate(0.02).max_jitter_s(1e-3);
+    requirement
+        .check(&qos)
+        .expect("retransmitting stream should satisfy video QoS");
+}

@@ -1,0 +1,141 @@
+//! Integration: the full Y-chart loop of §2.
+//!
+//! Application model (process graph) + architecture model (platform) →
+//! mapping → evaluation → constraint check → design-space exploration
+//! with a Pareto front, spanning `dms-core`, `dms-media` and `dms-noc`.
+
+use dms::core::mapping::Mapping;
+use dms::core::platform::{PeKind, Platform};
+use dms::core::qos::QosReport;
+use dms::core::ychart::{DesignConstraints, DesignPoint, ParetoFront};
+use dms::media::mpeg2::decoder_graph;
+use dms::noc::energy::BitEnergyModel;
+use dms::noc::topology::{Mesh2d, TileId};
+
+/// A toy evaluator: estimates latency and energy of a mapped decoder by
+/// charging computation to PEs and communication to the mesh distance
+/// between the PEs' tiles (one PE per tile, identity-placed).
+fn evaluate(
+    graph: &dms::core::graph::ProcessGraph,
+    platform: &Platform,
+    mapping: &Mapping,
+    mesh: &Mesh2d,
+) -> QosReport {
+    let bit_energy = BitEnergyModel::default();
+    let tokens = 1_000u64;
+    let mut latency = 0.0;
+    let mut energy = 0.0;
+    for (pid, process) in graph.processes() {
+        let pe_id = mapping.pe_of(pid).expect("validated mapping");
+        let pe = platform.pe(pe_id).expect("pe exists");
+        latency += pe.exec_time_s(process.cycles_per_token * tokens);
+        energy += pe.exec_energy_j(process.cycles_per_token * tokens);
+    }
+    for (_, channel) in graph.channels() {
+        if !mapping.is_local(channel.src, channel.dst) {
+            let src_tile = TileId(mapping.pe_of(channel.src).expect("mapped").index());
+            let dst_tile = TileId(mapping.pe_of(channel.dst).expect("mapped").index());
+            energy += bit_energy.transfer_energy_pj(
+                mesh,
+                src_tile,
+                dst_tile,
+                channel.token_bytes * tokens,
+            ) * 1e-12;
+        }
+    }
+    QosReport {
+        mean_latency_s: latency,
+        jitter_s: 0.0,
+        loss_rate: 0.0,
+        throughput_per_s: tokens as f64 / latency.max(1e-12),
+        energy_j: energy,
+        deadline_miss_ratio: 0.0,
+    }
+}
+
+#[test]
+fn explore_decoder_mappings_and_keep_a_pareto_front() {
+    let (graph, processes) = decoder_graph();
+    let mesh = Mesh2d::new(2, 2).expect("valid");
+    // Heterogeneous platform: one PE per tile (index-aligned).
+    let mut platform = Platform::new("quad");
+    let gpp = platform.add_pe("gpp", PeKind::Gpp, 200e6);
+    let dsp = platform.add_pe("dsp", PeKind::Dsp, 150e6);
+    let asic = platform.add_pe("idct-asic", PeKind::Asic, 100e6);
+    let asip = platform.add_pe("asip", PeKind::Asip, 120e6);
+    let pes = [gpp, dsp, asic, asip];
+
+    // Enumerate a family of candidate mappings: process i → PE chosen by
+    // a per-candidate rotation.
+    let mut front = ParetoFront::new();
+    let mut evaluated = 0;
+    for rotation in 0..4 {
+        for clustering in 0..2 {
+            let mut mapping = Mapping::new();
+            for (k, &pid) in processes.iter().enumerate() {
+                let idx = if clustering == 0 {
+                    (k + rotation) % 4
+                } else {
+                    rotation
+                };
+                mapping.assign(pid, pes[idx]);
+            }
+            mapping
+                .validate(&graph, &platform)
+                .expect("complete mapping");
+            let qos = evaluate(&graph, &platform, &mapping, &mesh);
+            evaluated += 1;
+            front.offer(DesignPoint {
+                label: format!("rot{rotation}-cluster{clustering}"),
+                qos,
+                gates: 150_000,
+                unit_cost: 10.0,
+            });
+        }
+    }
+    assert_eq!(evaluated, 8);
+    assert!(!front.is_empty());
+    assert!(front.len() <= evaluated);
+    // The front is internally non-dominated.
+    let points = front.points();
+    for a in &points {
+        for b in &points {
+            assert!(!a.dominates(b) || a.label == b.label);
+        }
+    }
+}
+
+#[test]
+fn constraints_gate_the_exploration() {
+    let (graph, processes) = decoder_graph();
+    let mesh = Mesh2d::new(2, 2).expect("valid");
+    let mut platform = Platform::new("uni");
+    let cpu = platform.add_pe("cpu", PeKind::Gpp, 50e6); // deliberately slow
+    let mut mapping = Mapping::new();
+    for &p in &processes {
+        mapping.assign(p, cpu);
+    }
+    mapping
+        .validate(&graph, &platform)
+        .expect("complete mapping");
+    let qos = evaluate(&graph, &platform, &mapping, &mesh);
+    let point = DesignPoint {
+        label: "all-on-one-slow-cpu".into(),
+        qos,
+        gates: 90_000,
+        unit_cost: 3.0,
+    };
+
+    let mut constraints = DesignConstraints::new();
+    constraints.qos = dms::core::qos::QosRequirement::new().max_latency_s(1e-3);
+    let violations = constraints
+        .check(&point)
+        .expect_err("slow CPU cannot make 1 ms");
+    assert!(violations.iter().any(|v| v.contains("latency")));
+
+    // Relaxing the latency bound admits the point.
+    constraints.qos = dms::core::qos::QosRequirement::new().max_latency_s(10.0);
+    constraints
+        .check(&point)
+        .expect("relaxed constraints admit the design");
+}
