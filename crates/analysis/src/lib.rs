@@ -42,6 +42,7 @@
 
 pub mod ctmc;
 pub mod error;
+pub mod fft;
 pub mod hurst;
 pub mod markov;
 pub mod prodcons;

@@ -7,9 +7,10 @@
 //! traditional short-range dependent models such as Markovian processes"
 //! (§3.2). Two generators are provided:
 //!
-//! * [`FractionalGaussianNoise`] — exact fGn via the Hosking
-//!   (Durbin–Levinson) recursion; the canonical LRD process with
-//!   Hurst parameter `H`;
+//! * [`FractionalGaussianNoise`] — exact fGn, the canonical LRD process
+//!   with Hurst parameter `H`: `O(n log n)` circulant embedding
+//!   (Davies–Harte) by default, with the `O(n²)` Hosking
+//!   (Durbin–Levinson) recursion kept as a cross-validation oracle;
 //! * [`OnOffAggregate`] — superposition of Pareto ON/OFF sources, the
 //!   physically-motivated model of aggregated multimedia flows (many
 //!   bursty cores sharing a NoC); heavy-tailed sojourns with tail index
@@ -18,19 +19,29 @@
 //! [`PoissonArrivals`] supplies the Markovian (short-range dependent)
 //! baseline the paper contrasts against.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use dms_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
 use crate::error::AnalysisError;
+use crate::fft::{fft_in_place, Complex};
 
-/// Exact fractional Gaussian noise generator (Hosking's method).
+/// Exact fractional Gaussian noise generator.
 ///
 /// Produces a stationary Gaussian series with autocovariance
 /// `γ(k) = ½(|k+1|²ᴴ − 2|k|²ᴴ + |k−1|²ᴴ)`. `H = 0.5` degenerates to
 /// white noise; `H > 0.5` gives long-range dependence.
 ///
-/// The Durbin–Levinson recursion is `O(n²)`; fine for the ≤ 2¹⁶-sample
-/// series used in the experiments.
+/// [`FractionalGaussianNoise::generate`] uses circulant embedding
+/// (Davies–Harte): the covariance is embedded in an `m = 2·2^⌈log₂ n⌉`
+/// circulant whose eigenvalues come from one FFT, and the series is the
+/// real part of an FFT of spectrally-weighted Gaussians — exact fGn in
+/// `O(n log n)`, which is what makes 2¹⁶-sample traces cheap enough for
+/// replicated experiments. The `O(n²)` Hosking (Durbin–Levinson)
+/// recursion survives as [`FractionalGaussianNoise::generate_hosking`],
+/// the independent oracle the tests cross-validate against.
 ///
 /// # Examples
 ///
@@ -78,35 +89,110 @@ impl FractionalGaussianNoise {
         0.5 * ((k + 1.0).powf(h2) - 2.0 * k.powf(h2) + (k - 1.0).abs().powf(h2))
     }
 
-    /// Generates `n` zero-mean, unit-variance fGn samples.
+    /// Generates `n` zero-mean, unit-variance fGn samples in
+    /// `O(n log n)` via circulant embedding (Davies–Harte).
+    ///
+    /// For fGn the circulant eigenvalues are provably non-negative for
+    /// every `H ∈ (0, 1)`; values within FFT round-off of zero are
+    /// clamped. Deterministic for a given seed.
     #[must_use]
     pub fn generate(&self, n: usize, rng: &mut SimRng) -> Vec<f64> {
         if n == 0 {
             return Vec::new();
         }
-        let gamma: Vec<f64> = (0..n).map(|k| self.autocovariance(k)).collect();
+        let g = n.next_power_of_two();
+        let m = 2 * g;
+        let mf = m as f64;
+        // First row of the circulant embedding: γ(0..=g) mirrored.
+        let mut spectrum = vec![Complex::ZERO; m];
+        for j in 0..=g {
+            let gamma = self.autocovariance(j);
+            spectrum[j].re = gamma;
+            if j > 0 && j < g {
+                spectrum[m - j].re = gamma;
+            }
+        }
+        // One FFT turns the row into the (real) eigenvalues λ_k.
+        fft_in_place(&mut spectrum);
+        // Spectrally-weighted Gaussians with Hermitian symmetry, so the
+        // synthesis FFT below comes out real. Draw order is k = 0..=g,
+        // fixed, so the stream is reproducible.
+        let mut weighted = vec![Complex::ZERO; m];
+        weighted[0].re = (spectrum[0].re.max(0.0) / mf).sqrt() * rng.normal(0.0, 1.0);
+        for k in 1..g {
+            let scale = (spectrum[k].re.max(0.0) / (2.0 * mf)).sqrt();
+            let u = rng.normal(0.0, 1.0);
+            let v = rng.normal(0.0, 1.0);
+            weighted[k] = Complex::new(scale * u, scale * v);
+            weighted[m - k] = Complex::new(scale * u, -scale * v);
+        }
+        weighted[g].re = (spectrum[g].re.max(0.0) / mf).sqrt() * rng.normal(0.0, 1.0);
+        fft_in_place(&mut weighted);
+        weighted.into_iter().take(n).map(|z| z.re).collect()
+    }
+
+    /// Generates `n` samples with the `O(n²)` Hosking (Durbin–Levinson)
+    /// recursion — the independent oracle [`Self::generate`] is
+    /// validated against.
+    ///
+    /// The reflection coefficients κ and conditional standard deviations
+    /// σ depend only on `(H, n)`, so they are computed once per pair and
+    /// cached process-wide; repeated replications (each with its own
+    /// `rng`) skip straight to the `O(n²)` sampling recursion.
+    #[must_use]
+    pub fn generate_hosking(&self, n: usize, rng: &mut SimRng) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let coeffs = self.hosking_coeffs(n);
         let mut x = Vec::with_capacity(n);
         let mut phi: Vec<f64> = Vec::with_capacity(n);
+        x.push(rng.normal(0.0, coeffs.sigma[0]));
+        for t in 1..n {
+            let kappa = coeffs.kappa[t - 1];
+            update_ar_coefficients(&mut phi, kappa);
+            let mean: f64 = phi.iter().enumerate().map(|(j, &p)| p * x[t - 1 - j]).sum();
+            x.push(mean + rng.normal(0.0, coeffs.sigma[t]));
+        }
+        x
+    }
+
+    /// κ/σ Durbin–Levinson coefficients for `(self.hurst, n)`, shared
+    /// across threads and replications.
+    fn hosking_coeffs(&self, n: usize) -> Arc<HoskingCoeffs> {
+        type CoeffCache = Mutex<HashMap<(u64, usize), Arc<HoskingCoeffs>>>;
+        static CACHE: OnceLock<CoeffCache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (self.hurst.to_bits(), n);
+        if let Some(coeffs) = cache.lock().expect("coeff cache poisoned").get(&key) {
+            return Arc::clone(coeffs);
+        }
+        // Computed outside the lock: the recursion is O(n²) and two
+        // racing threads at worst duplicate work, not corrupt it.
+        let gamma: Vec<f64> = (0..n).map(|k| self.autocovariance(k)).collect();
+        let mut kappa = Vec::with_capacity(n.saturating_sub(1));
+        let mut sigma = Vec::with_capacity(n);
+        let mut phi: Vec<f64> = Vec::with_capacity(n);
         let mut v = gamma[0];
-        x.push(rng.normal(0.0, v.sqrt()));
+        sigma.push(v.sqrt());
         for t in 1..n {
             // Reflection coefficient.
             let mut acc = gamma[t];
             for (j, &p) in phi.iter().enumerate() {
                 acc -= p * gamma[t - 1 - j];
             }
-            let kappa = acc / v;
-            // Update AR coefficients: φ_t,j = φ_{t−1,j} − κ φ_{t−1,t−1−j}.
-            let prev = phi.clone();
-            for (j, p) in phi.iter_mut().enumerate() {
-                *p = prev[j] - kappa * prev[prev.len() - 1 - j];
-            }
-            phi.push(kappa);
-            v *= 1.0 - kappa * kappa;
-            let mean: f64 = phi.iter().enumerate().map(|(j, &p)| p * x[t - 1 - j]).sum();
-            x.push(mean + rng.normal(0.0, v.max(0.0).sqrt()));
+            let k = acc / v;
+            update_ar_coefficients(&mut phi, k);
+            v *= 1.0 - k * k;
+            kappa.push(k);
+            sigma.push(v.max(0.0).sqrt());
         }
-        x
+        let coeffs = Arc::new(HoskingCoeffs { kappa, sigma });
+        cache
+            .lock()
+            .expect("coeff cache poisoned")
+            .insert(key, Arc::clone(&coeffs));
+        coeffs
     }
 
     /// Generates `n` non-negative *arrival counts* per slot with the
@@ -122,6 +208,33 @@ impl FractionalGaussianNoise {
             .map(|z| (mean + std_dev * z).max(0.0))
             .collect()
     }
+}
+
+/// Seed-independent Durbin–Levinson state for one `(H, n)` pair.
+#[derive(Debug)]
+struct HoskingCoeffs {
+    /// Reflection coefficients κ_t for `t = 1..n`.
+    kappa: Vec<f64>,
+    /// Conditional standard deviations σ_t for `t = 0..n`.
+    sigma: Vec<f64>,
+}
+
+/// One Durbin–Levinson step, in place:
+/// `φ_t,j = φ_{t−1,j} − κ φ_{t−1,t−1−j}`, then `φ_t,t−1 = κ`.
+///
+/// The update is its own mirror, so walking the two ends inward needs no
+/// scratch copy of the previous coefficients.
+fn update_ar_coefficients(phi: &mut Vec<f64>, kappa: f64) {
+    let len = phi.len();
+    for j in 0..len / 2 {
+        let (a, b) = (phi[j], phi[len - 1 - j]);
+        phi[j] = a - kappa * b;
+        phi[len - 1 - j] = b - kappa * a;
+    }
+    if len % 2 == 1 {
+        phi[len / 2] *= 1.0 - kappa;
+    }
+    phi.push(kappa);
 }
 
 /// Superposition of Pareto ON/OFF sources.
@@ -335,12 +448,104 @@ mod tests {
         let a = fgn.generate(128, &mut SimRng::new(5));
         let b = fgn.generate(128, &mut SimRng::new(5));
         assert_eq!(a, b);
+        let c = fgn.generate_hosking(128, &mut SimRng::new(5));
+        let d = fgn.generate_hosking(128, &mut SimRng::new(5));
+        assert_eq!(c, d);
     }
 
     #[test]
     fn fgn_empty_request() {
         let fgn = FractionalGaussianNoise::new(0.6).expect("valid");
         assert!(fgn.generate(0, &mut SimRng::new(1)).is_empty());
+        assert!(fgn.generate_hosking(0, &mut SimRng::new(1)).is_empty());
+    }
+
+    /// Sample autocovariance of `series` at lag `k` (biased estimator).
+    fn sample_autocov(series: &[f64], k: usize) -> f64 {
+        let n = series.len();
+        let mean = series.iter().sum::<f64>() / n as f64;
+        (0..n - k)
+            .map(|t| (series[t] - mean) * (series[t + k] - mean))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// The tentpole cross-validation: the circulant sampler and the
+    /// Hosking oracle must agree — not sample-by-sample (different
+    /// draws), but in mean, variance and lag-k autocovariance, and both
+    /// must track the theoretical γ(k).
+    #[test]
+    fn circulant_matches_hosking_oracle() {
+        let fgn = FractionalGaussianNoise::new(0.8).expect("valid");
+        let n = 8192;
+        let circ = fgn.generate(n, &mut SimRng::new(101));
+        let hosk = fgn.generate_hosking(n, &mut SimRng::new(202));
+        for (label, series) in [("circulant", &circ), ("hosking", &hosk)] {
+            let mean = series.iter().sum::<f64>() / n as f64;
+            let var = sample_autocov(series, 0);
+            assert!(mean.abs() < 0.2, "{label} mean {mean}");
+            assert!((var - 1.0).abs() < 0.3, "{label} variance {var}");
+            for k in [1usize, 4, 16] {
+                let theory = fgn.autocovariance(k);
+                let measured = sample_autocov(series, k) / var;
+                assert!(
+                    (measured - theory).abs() < 0.12,
+                    "{label} lag-{k} autocov {measured} vs theory {theory}"
+                );
+            }
+        }
+        // And against each other, same tolerances.
+        let var_c = sample_autocov(&circ, 0);
+        let var_h = sample_autocov(&hosk, 0);
+        assert!(
+            (var_c - var_h).abs() < 0.3,
+            "variances diverge: {var_c} vs {var_h}"
+        );
+        for k in [1usize, 4, 16] {
+            let ac = sample_autocov(&circ, k) / var_c;
+            let ah = sample_autocov(&hosk, k) / var_h;
+            assert!((ac - ah).abs() < 0.15, "lag-{k}: {ac} vs {ah}");
+        }
+    }
+
+    /// Both samplers must agree on the degenerate H = 0.5 case: white
+    /// noise, vanishing autocorrelation.
+    #[test]
+    fn circulant_and_hosking_give_white_noise_at_half() {
+        let fgn = FractionalGaussianNoise::new(0.5).expect("valid");
+        for (label, series) in [
+            ("circulant", fgn.generate(4096, &mut SimRng::new(7))),
+            ("hosking", fgn.generate_hosking(4096, &mut SimRng::new(8))),
+        ] {
+            let var = sample_autocov(&series, 0);
+            for k in [1usize, 5, 20] {
+                let ac = sample_autocov(&series, k) / var;
+                assert!(ac.abs() < 0.06, "{label} lag-{k} {ac} should vanish");
+            }
+        }
+    }
+
+    #[test]
+    fn circulant_handles_non_power_of_two_lengths() {
+        let fgn = FractionalGaussianNoise::new(0.75).expect("valid");
+        for n in [1usize, 2, 3, 100, 1000, 1025] {
+            let series = fgn.generate(n, &mut SimRng::new(n as u64));
+            assert_eq!(series.len(), n);
+            assert!(series.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn hosking_coefficient_cache_is_transparent() {
+        // Two replications with different seeds must differ; the same
+        // seed must reproduce exactly even when the coefficients come
+        // from the warm cache.
+        let fgn = FractionalGaussianNoise::new(0.9).expect("valid");
+        let a = fgn.generate_hosking(512, &mut SimRng::new(1));
+        let b = fgn.generate_hosking(512, &mut SimRng::new(2));
+        let a2 = fgn.generate_hosking(512, &mut SimRng::new(1));
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! 4. MANET control-traffic overhead — §4.2's "additional control
 //!    traffic" caveat;
 //! 5. mapping optimiser choice — §3.3 problem (i).
+//!
+//! The sections are independent and fully seeded, so they run
+//! concurrently on a [`dms_sim::ParRunner`]; each renders its report
+//! into a string and the merged output is printed in section order,
+//! byte-identical to the sequential run (`DMS_THREADS=1`).
+
+use std::fmt::Write as _;
 
 use dms_analysis::FractionalGaussianNoise;
 use dms_asip::flow::{DesignFlow, FlowConstraints};
@@ -22,21 +29,27 @@ use dms_noc::queueing::SlottedQueueSim;
 use dms_noc::sim::{NocConfig, NocSim, RoutingAlgorithm};
 use dms_noc::topology::{Mesh2d, TileId};
 use dms_noc::traffic::{InjectionProcess, TrafficPattern};
-use dms_sim::SimRng;
+use dms_sim::{ParRunner, SimRng};
 
 fn main() {
-    routing_ablation();
-    buffer_depth_ablation();
-    asip_blocks_ablation();
-    manet_overhead_ablation();
-    mapper_ablation();
+    const SECTIONS: [fn() -> String; 5] = [
+        routing_ablation,
+        buffer_depth_ablation,
+        asip_blocks_ablation,
+        manet_overhead_ablation,
+        mapper_ablation,
+    ];
+    for report in ParRunner::new().run(SECTIONS.len(), |i| SECTIONS[i]()) {
+        print!("{report}");
+    }
 }
 
-fn routing_ablation() {
-    println!("## Ablation 1 — NoC routing algorithm (§3.3 ii)\n");
-    println!("| traffic | routing | latency (cyc) | p95 (cyc) | delivered |");
-    println!("|---------|---------|---------------|-----------|-----------|");
-    for (label, pattern) in [
+fn routing_ablation() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Ablation 1 — NoC routing algorithm (§3.3 ii)\n");
+    let _ = writeln!(out, "| traffic | routing | latency (cyc) | p95 (cyc) | delivered |");
+    let _ = writeln!(out, "|---------|---------|---------------|-----------|-----------|");
+    let cases: Vec<(&str, TrafficPattern, RoutingAlgorithm)> = [
         ("uniform", TrafficPattern::Uniform),
         (
             "hotspot",
@@ -46,33 +59,46 @@ fn routing_ablation() {
             },
         ),
         ("transpose", TrafficPattern::Transpose),
-    ] {
-        for routing in [RoutingAlgorithm::Xy, RoutingAlgorithm::WestFirst] {
-            let mut cfg = NocConfig::mesh4x4();
-            cfg.injection = InjectionProcess::Bernoulli { p: 0.06 };
-            cfg.pattern = pattern;
-            cfg.routing = routing;
-            cfg.inject_cycles = 15_000;
-            cfg.drain_cycles = 30_000;
-            let r = NocSim::run(cfg, 41).expect("valid config");
-            println!(
-                "| {label} | {routing:?} | {:.1} | {:.1} | {}/{} |",
-                r.mean_latency_cycles, r.latency_p95_cycles, r.packets_received, r.packets_injected
-            );
-        }
+    ]
+    .into_iter()
+    .flat_map(|(label, pattern)| {
+        [RoutingAlgorithm::Xy, RoutingAlgorithm::WestFirst]
+            .into_iter()
+            .map(move |routing| (label, pattern, routing))
+    })
+    .collect();
+    // Six independent NoC simulations: one per (pattern, routing) cell.
+    let results = ParRunner::new().map(&cases, |&(_, pattern, routing)| {
+        let mut cfg = NocConfig::mesh4x4();
+        cfg.injection = InjectionProcess::Bernoulli { p: 0.06 };
+        cfg.pattern = pattern;
+        cfg.routing = routing;
+        cfg.inject_cycles = 15_000;
+        cfg.drain_cycles = 30_000;
+        NocSim::run(cfg, 41).expect("valid config")
+    });
+    for ((label, _, routing), r) in cases.iter().zip(&results) {
+        let _ = writeln!(
+            out,
+            "| {label} | {routing:?} | {:.1} | {:.1} | {}/{} |",
+            r.mean_latency_cycles, r.latency_p95_cycles, r.packets_received, r.packets_injected
+        );
     }
-    println!(
+    let _ = writeln!(
+        out,
         "\n(West-first adaptivity helps structured traffic (transpose) but can hurt\n\
          uniform traffic: the switch allocator scans outputs in fixed order and has\n\
          no congestion sensing, so adaptivity without load information is a wash —\n\
          an honest reproduction of why §3.3 calls routing choice an open problem.)\n"
     );
+    out
 }
 
-fn buffer_depth_ablation() {
-    println!("## Ablation 2 — router buffer depth under LRD traffic (§3.2)\n");
-    println!("| buffer (units) | Poisson-equiv loss | LRD loss | LRD mean occupancy |");
-    println!("|----------------|--------------------|----------|--------------------|");
+fn buffer_depth_ablation() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Ablation 2 — router buffer depth under LRD traffic (§3.2)\n");
+    let _ = writeln!(out, "| buffer (units) | Poisson-equiv loss | LRD loss | LRD mean occupancy |");
+    let _ = writeln!(out, "|----------------|--------------------|----------|--------------------|");
     let mut rng = SimRng::new(55);
     let mean = 3.0;
     let lrd = FractionalGaussianNoise::new(0.85)
@@ -85,23 +111,26 @@ fn buffer_depth_ablation() {
         let q = SlottedQueueSim::new(buffer, mean * 1.25).expect("valid");
         let rl = q.run(&lrd);
         let rp = q.run(&poisson);
-        println!(
+        let _ = writeln!(
+            out,
             "| {buffer} | {:.5} | {:.5} | {:.2} |",
             rp.loss_rate(),
             rl.loss_rate(),
             rl.mean_occupancy
         );
     }
-    println!("\n(LRD loss decays far slower with buffer size — the §3.2 point.)\n");
+    let _ = writeln!(out, "\n(LRD loss decays far slower with buffer size — the §3.2 point.)\n");
+    out
 }
 
-fn asip_blocks_ablation() {
-    println!("## Ablation 3 — ASIP predefined blocks and cache (§3.1 b, c)\n");
+fn asip_blocks_ablation() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Ablation 3 — ASIP predefined blocks and cache (§3.1 b, c)\n");
     let (n, tones, templates) = (512, 8, 8);
     let program = workloads::voice_recognition(n, tones, templates).expect("valid dims");
     let memory = workloads::voice_test_memory(n, tones, templates, 1 << 16);
-    println!("| configuration | speed-up | #custom | gates |");
-    println!("|---------------|----------|---------|-------|");
+    let _ = writeln!(out, "| configuration | speed-up | #custom | gates |");
+    let _ = writeln!(out, "|---------------|----------|---------|-------|");
     let configs: [(&str, bool, bool, u64); 5] = [
         ("extensions only", false, false, 2048),
         ("+ MAC", true, false, 2048),
@@ -117,44 +146,52 @@ fn asip_blocks_ablation() {
         let r = DesignFlow::new(c)
             .run_with_memory(&program, memory.clone())
             .expect("flow runs");
-        println!(
+        let _ = writeln!(
+            out,
             "| {label} | {:.2}x | {} | {} |",
             r.speedup, r.custom_instructions, r.total_gates
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }
 
-fn manet_overhead_ablation() {
-    println!("## Ablation 4 — lifetime-aware routing control overhead (§4.2)\n");
-    println!("| control overhead | battery-cost lifetime | gain vs min-power |");
-    println!("|------------------|-----------------------|-------------------|");
+fn manet_overhead_ablation() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Ablation 4 — lifetime-aware routing control overhead (§4.2)\n");
+    let _ = writeln!(out, "| control overhead | battery-cost lifetime | gain vs min-power |");
+    let _ = writeln!(out, "|------------------|-----------------------|-------------------|");
     let mut base = LifetimeConfig::reference();
     let seeds = [1u64, 2, 3];
     let avg = |cfg: &LifetimeConfig, p: Protocol| -> f64 {
-        seeds
-            .iter()
-            .map(|&s| run_lifetime(cfg, p, s).expect("valid").lifetime_rounds as f64)
-            .sum::<f64>()
-            / seeds.len() as f64
+        let rounds = ParRunner::new().map(&seeds, |&s| {
+            run_lifetime(cfg, p, s).expect("valid").lifetime_rounds as f64
+        });
+        rounds.iter().sum::<f64>() / rounds.len() as f64
     };
     let mpr = avg(&base, Protocol::MinimumPower);
     for overhead in [0.0, 0.02, 0.05, 0.10, 0.20] {
         base.control_overhead = overhead;
         let bc = avg(&base, Protocol::BatteryCost);
-        println!(
+        let _ = writeln!(
+            out,
             "| {:.0}% | {bc:.0} rounds | {:+.1}% |",
             overhead * 100.0,
             (bc / mpr - 1.0) * 100.0
         );
     }
-    println!("\n(The advantage survives realistic control traffic; heavy beaconing erodes it.)\n");
+    let _ = writeln!(
+        out,
+        "\n(The advantage survives realistic control traffic; heavy beaconing erodes it.)\n"
+    );
+    out
 }
 
-fn mapper_ablation() {
-    println!("## Ablation 5 — mapping optimiser choice (§3.3 i)\n");
-    println!("| optimiser | energy (pJ/s) | saving vs random-average |");
-    println!("|-----------|---------------|--------------------------|");
+fn mapper_ablation() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Ablation 5 — mapping optimiser choice (§3.3 i)\n");
+    let _ = writeln!(out, "| optimiser | energy (pJ/s) | saving vs random-average |");
+    let _ = writeln!(out, "|-----------|---------------|--------------------------|");
     let graph = CoreGraph::vopd();
     let mesh = Mesh2d::new(4, 4).expect("valid");
     let mapper = Mapper::new(&graph, &mesh).expect("fits");
@@ -172,9 +209,16 @@ fn mapper_ablation() {
                 .energy(&mapper.simulated_annealing(7))
                 .expect("valid"),
         ),
+        (
+            "SA, best of 4 restarts",
+            mapper
+                .energy(&mapper.simulated_annealing_restarts(7, 4))
+                .expect("valid"),
+        ),
     ];
     for (name, e) in rows {
-        println!(
+        let _ = writeln!(
+            out,
             "| {name} | {e:.3e} | {:.1}% |",
             (1.0 - e / random_avg) * 100.0
         );
@@ -183,11 +227,13 @@ fn mapper_ablation() {
     if let Some(constrained) = mapper.simulated_annealing_constrained(7, 600e6) {
         let e = mapper.energy(&constrained).expect("valid");
         let peak = mapper.max_link_load(&constrained).expect("valid");
-        println!(
+        let _ = writeln!(
+            out,
             "| SA + 600 MB/s link cap | {e:.3e} | {:.1}% (peak link {:.0} MB/s) |",
             (1.0 - e / random_avg) * 100.0,
             peak / 1e6
         );
     }
-    println!();
+    let _ = writeln!(out);
+    out
 }

@@ -1,0 +1,116 @@
+//! Timing smoke-run: wall-clock for every experiment plus the two
+//! headline performance comparisons of the parallel harness.
+//!
+//! Run with: `cargo run --release -p dms-bench --bin bench_smoke`
+//!
+//! Writes `BENCH_experiments.json` in the working directory:
+//!
+//! * per-experiment wall-clock seconds (sequential, one at a time);
+//! * the full `all_experiments()` suite, parallel (all cores) vs
+//!   `DMS_THREADS=1`, and the resulting speed-up;
+//! * 2¹⁶-sample fGn generation, circulant embedding vs the Hosking
+//!   oracle, and the resulting speed-up.
+//!
+//! Everything is seeded, so the numbers measure time, not variance.
+
+use std::time::Instant;
+
+use dms_analysis::FractionalGaussianNoise;
+use dms_bench::{all_experiments, Experiment};
+use dms_sim::SimRng;
+
+fn seconds_of(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("# bench_smoke ({threads} hardware threads)\n");
+
+    // Per-experiment timings, isolated: sequential inside and out
+    // (DMS_THREADS=1), so the numbers are comparable across machines.
+    std::env::set_var("DMS_THREADS", "1");
+    const EXPERIMENTS: [fn() -> Experiment; 17] = [
+        dms_bench::fig1_stream,
+        dms_bench::fig2_design_flow,
+        dms_bench::e1_asip_speedup,
+        dms_bench::e2_traffic,
+        dms_bench::e3_noc_mapping,
+        dms_bench::e4_packet_size,
+        dms_bench::e5_scheduling,
+        dms_bench::e6_modulation,
+        dms_bench::e7_image_tx,
+        dms_bench::e8_fgs_streaming,
+        dms_bench::e9_manet_routing,
+        dms_bench::e10_steady_state,
+        dms_bench::e11_ambient,
+        dms_bench::x1_lip_sync,
+        dms_bench::x2_ctmc_transient,
+        dms_bench::x3_mapped_validation,
+        dms_bench::x4_arq_packet_size,
+    ];
+    let mut per_experiment: Vec<(String, f64)> = Vec::new();
+    for run in EXPERIMENTS {
+        let mut exp: Option<Experiment> = None;
+        let secs = seconds_of(|| {
+            exp = Some(run());
+        });
+        let exp = exp.expect("experiment ran");
+        println!("{:>4}  {:7.3} s  {}", exp.id, secs, exp.title);
+        per_experiment.push((exp.id.to_string(), secs));
+    }
+
+    // Suite wall-clock: sequential (DMS_THREADS=1, still set) vs
+    // parallel (cap removed).
+    let sequential = seconds_of(|| {
+        std::hint::black_box(all_experiments());
+    });
+    std::env::remove_var("DMS_THREADS");
+    let parallel = seconds_of(|| {
+        std::hint::black_box(all_experiments());
+    });
+    let suite_speedup = sequential / parallel.max(1e-9);
+    println!("\nsuite: sequential {sequential:.3} s, parallel {parallel:.3} s ({suite_speedup:.2}x)");
+
+    // fGn at 2^16 samples: circulant embedding vs Hosking oracle.
+    let n = 1 << 16;
+    let fgn = FractionalGaussianNoise::new(0.85).expect("valid");
+    let circulant = seconds_of(|| {
+        std::hint::black_box(fgn.generate(n, &mut SimRng::new(97)));
+    });
+    // First Hosking call also pays the coefficient computation; time a
+    // second, cache-warm call separately so both costs are recorded.
+    let hosking_cold = seconds_of(|| {
+        std::hint::black_box(fgn.generate_hosking(n, &mut SimRng::new(97)));
+    });
+    let hosking_warm = seconds_of(|| {
+        std::hint::black_box(fgn.generate_hosking(n, &mut SimRng::new(98)));
+    });
+    let fgn_speedup = hosking_warm / circulant.max(1e-9);
+    println!(
+        "fGn n={n}: circulant {circulant:.3} s, hosking {hosking_warm:.3} s warm \
+         ({hosking_cold:.3} s cold) -> {fgn_speedup:.1}x"
+    );
+
+    // Hand-rendered JSON: the workspace is offline and vendors no JSON
+    // crate, and the schema is flat enough that formatting is trivial.
+    let mut json = String::from("{\n  \"experiments\": [\n");
+    for (i, (id, secs)) in per_experiment.iter().enumerate() {
+        let comma = if i + 1 == per_experiment.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"id\": \"{id}\", \"seconds\": {secs:.6} }}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"suite\": {{ \"sequential_seconds\": {sequential:.6}, \"parallel_seconds\": {parallel:.6}, \"speedup\": {suite_speedup:.3}, \"threads\": {threads} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"fgn_65536\": {{ \"circulant_seconds\": {circulant:.6}, \"hosking_cold_seconds\": {hosking_cold:.6}, \"hosking_warm_seconds\": {hosking_warm:.6}, \"speedup\": {fgn_speedup:.3} }}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_experiments.json", json).expect("write BENCH_experiments.json");
+    println!("\nwrote BENCH_experiments.json");
+}

@@ -368,12 +368,17 @@ mod tests {
 
     #[test]
     fn control_overhead_costs_energy() {
+        // Batteries must outlast the horizon: if nodes die mid-run, the
+        // extra control drain can kill relays early and *reduce* total
+        // session energy, making the comparison seed-dependent.
         let mut cfg = LifetimeConfig::small();
         cfg.max_rounds = 50;
         cfg.death_threshold = 1.0; // run the full 50 rounds
+        cfg.battery_j = 100.0;
         let with = run_lifetime(&cfg, Protocol::BatteryCost, 9).expect("valid");
         cfg.control_overhead = 0.0;
         let without = run_lifetime(&cfg, Protocol::BatteryCost, 9).expect("valid");
+        assert_eq!(with.first_death_round, 0, "no node should die");
         assert!(with.energy_spent_j > without.energy_spent_j);
     }
 }

@@ -448,7 +448,34 @@ impl Mapper {
     /// geometric cooling, deterministic for a given seed.
     #[must_use]
     pub fn simulated_annealing(&self, seed: u64) -> TileMapping {
-        let mut rng = SimRng::new(seed).substream("mapping-sa", 0);
+        self.sa_chain(seed, 0)
+    }
+
+    /// Best of `restarts` independent annealing chains, run across
+    /// worker threads via [`dms_sim::ParRunner`]. Chain `r` draws from
+    /// the `("mapping-sa", r)` sub-stream of `seed`, so
+    /// `simulated_annealing_restarts(seed, 1)` equals
+    /// [`Mapper::simulated_annealing`]`(seed)`, and the winner (ties go
+    /// to the lowest chain index) is identical for any thread count.
+    #[must_use]
+    pub fn simulated_annealing_restarts(&self, seed: u64, restarts: usize) -> TileMapping {
+        let chains = dms_sim::ParRunner::new().run(restarts.max(1), |r| {
+            let mapping = self.sa_chain(seed, r as u64);
+            let energy = self.energy(&mapping).expect("SA mapping is valid");
+            (mapping, energy)
+        });
+        chains
+            .into_iter()
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one restart")
+            .0
+    }
+
+    fn sa_chain(&self, seed: u64, chain: u64) -> TileMapping {
+        let mut rng = SimRng::new(seed).substream("mapping-sa", chain);
         let n = self.graph.core_count();
         let mut current = self.greedy();
         let mut current_e = self.energy(&current).expect("greedy mapping is valid");
@@ -510,19 +537,40 @@ impl Mapper {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let seed_map = self.greedy();
-        let mut best_e = self.energy(&seed_map).expect("greedy mapping is valid");
+        let greedy_e = self.energy(&seed_map).expect("greedy mapping is valid");
+        let first = order[0];
+        let tiles = self.mesh.tile_count();
+        // Fan the root branches (first core on each distinct tile) across
+        // worker threads. Each branch explores its subtree against a
+        // private incumbent seeded with the greedy energy; merging the
+        // branch optima in tile order with a strict `<` reproduces the
+        // sequential DFS result exactly (ties keep the earliest tile).
+        let branches = dms_sim::ParRunner::new().run(tiles, |tile_idx| {
+            let mut assignment: Vec<Option<TileId>> = vec![None; n];
+            let mut used = vec![false; tiles];
+            assignment[first] = Some(TileId(tile_idx));
+            used[tile_idx] = true;
+            let mut best = seed_map.clone();
+            let mut best_e = greedy_e;
+            self.bnb_recurse(
+                &order,
+                1,
+                &mut assignment,
+                &mut used,
+                0.0,
+                &mut best,
+                &mut best_e,
+            );
+            (best, best_e)
+        });
         let mut best = seed_map;
-        let mut assignment: Vec<Option<TileId>> = vec![None; n];
-        let mut used = vec![false; self.mesh.tile_count()];
-        self.bnb_recurse(
-            &order,
-            0,
-            &mut assignment,
-            &mut used,
-            0.0,
-            &mut best,
-            &mut best_e,
-        );
+        let mut best_e = greedy_e;
+        for (branch_best, branch_e) in branches {
+            if branch_e < best_e {
+                best = branch_best;
+                best_e = branch_e;
+            }
+        }
         Ok(best)
     }
 
@@ -762,6 +810,36 @@ mod tests {
     fn sa_is_deterministic_per_seed() {
         let m = mapper();
         assert_eq!(m.simulated_annealing(9), m.simulated_annealing(9));
+    }
+
+    #[test]
+    fn restarts_reduce_to_single_chain() {
+        let m = mapper();
+        assert_eq!(
+            m.simulated_annealing_restarts(9, 1),
+            m.simulated_annealing(9)
+        );
+    }
+
+    #[test]
+    fn restarts_match_sequential_best_and_never_lose() {
+        let m = mapper();
+        let parallel = m.simulated_annealing_restarts(11, 4);
+        // The parallel winner must equal the sequential scan over the
+        // same chains (first-wins on energy ties).
+        let sequential_best = (0..4u64)
+            .map(|r| m.sa_chain(11, r))
+            .min_by(|a, b| {
+                m.energy(a)
+                    .expect("valid")
+                    .partial_cmp(&m.energy(b).expect("valid"))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("four chains");
+        assert_eq!(parallel, sequential_best);
+        let single = m.energy(&m.simulated_annealing(11)).expect("valid");
+        let multi = m.energy(&parallel).expect("valid");
+        assert!(multi <= single + 1e-9, "restarts regressed: {multi} > {single}");
     }
 
     #[test]

@@ -76,6 +76,22 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events,
+    /// so simulations with a known event population (one in-flight event
+    /// per node, say) never reallocate mid-run.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `payload` to fire at `time`.
     ///
     /// Events scheduled for the same time fire in the order they were
@@ -89,6 +105,17 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         self.heap.pop()
+    }
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `horizon` — one heap traversal instead of the peek-then-pop pair,
+    /// which is what [`Engine::run_until`] sits in for every event.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
+        let top = self.heap.peek_mut()?;
+        if top.time > horizon {
+            return None;
+        }
+        Some(std::collections::binary_heap::PeekMut::pop(top))
     }
 
     /// Returns the time of the earliest pending event without removing it.
@@ -154,6 +181,24 @@ impl<M: Model> Engine<M> {
         }
     }
 
+    /// Like [`Engine::new`], but pre-sizes the event queue for
+    /// `capacity` pending events (see [`EventQueue::with_capacity`]).
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules `payload` at the current simulated time: it fires this
+    /// instant, after any already-pending events with the same
+    /// timestamp (FIFO tie-breaking).
+    pub fn schedule_now(&mut self, payload: M::Event) {
+        self.queue.schedule(self.now, payload);
+    }
+
     /// Current simulated time (the timestamp of the last processed event).
     #[must_use]
     pub fn now(&self) -> SimTime {
@@ -211,11 +256,14 @@ impl<M: Model> Engine<M> {
     /// Returns the number of events processed by this call.
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let start = self.processed;
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            self.step();
+        while let Some(ev) = self.queue.pop_at_or_before(horizon) {
+            debug_assert!(
+                ev.time >= self.now,
+                "event queue released an event from the past"
+            );
+            self.now = ev.time;
+            self.processed += 1;
+            self.model.handle(self.now, ev.payload, &mut self.queue);
         }
         self.processed - start
     }
@@ -336,5 +384,59 @@ mod tests {
         let mut eng = Engine::new(Recorder { seen: vec![] });
         assert!(!eng.step());
         assert_eq!(eng.run_until(SimTime::MAX), 0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut eng = Engine::with_capacity(Recorder { seen: vec![] }, 64);
+        eng.queue_mut().schedule(SimTime::from_ticks(2), 9);
+        eng.run_to_completion();
+        assert_eq!(eng.model().seen, vec![(2, 9)]);
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(8);
+        q.reserve(100);
+        q.schedule(SimTime::ZERO, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(3), "late");
+        q.schedule(SimTime::from_ticks(1), "early");
+        assert!(q.pop_at_or_before(SimTime::ZERO).is_none());
+        assert_eq!(q.len(), 2, "a rejected peek must not disturb the queue");
+        let ev = q.pop_at_or_before(SimTime::from_ticks(1)).expect("due");
+        assert_eq!(ev.payload, "early");
+        assert!(q.pop_at_or_before(SimTime::from_ticks(2)).is_none());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(3)));
+    }
+
+    #[test]
+    fn schedule_now_fires_at_current_time_in_fifo_order() {
+        struct Chainer {
+            fired: Vec<u32>,
+        }
+        impl Model for Chainer {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+                self.fired.push(ev);
+                if ev == 1 {
+                    // A zero-delay follow-up lands behind pending
+                    // same-time events.
+                    q.schedule(now, 3);
+                }
+            }
+        }
+        let mut eng = Engine::new(Chainer { fired: vec![] });
+        eng.queue_mut().schedule(SimTime::from_ticks(4), 1);
+        eng.queue_mut().schedule(SimTime::from_ticks(4), 2);
+        eng.run_to_completion();
+        assert_eq!(eng.model().fired, vec![1, 2, 3]);
+        assert_eq!(eng.now(), SimTime::from_ticks(4));
+        // Engine-level schedule_now at the post-run clock.
+        eng.schedule_now(7);
+        eng.run_to_completion();
+        assert_eq!(eng.model().fired, vec![1, 2, 3, 7]);
+        assert_eq!(eng.now(), SimTime::from_ticks(4));
     }
 }

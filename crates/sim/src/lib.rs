@@ -1,8 +1,8 @@
 //! # dms-sim — discrete-event simulation kernel
 //!
-//! Foundation of the `dms` framework: a deterministic, single-threaded
-//! discrete-event simulation (DES) kernel, seeded random-number utilities
-//! and online statistics.
+//! Foundation of the `dms` framework: a deterministic discrete-event
+//! simulation (DES) kernel, seeded random-number utilities, online
+//! statistics and a deterministic parallel-replication runner.
 //!
 //! Every simulator in the workspace (NoC routers, wireless channels,
 //! MANET nodes, media pipelines) is driven by [`Engine`], which pops
@@ -10,6 +10,12 @@
 //! dispatches them to a user-supplied [`Model`]. Because ties are broken
 //! by insertion order and all randomness flows through [`SimRng`]
 //! sub-streams, a simulation with a fixed seed is bit-reproducible.
+//!
+//! Each individual simulation run is single-threaded; *independent*
+//! seeded runs (replications, sweep points, mapping candidates) fan out
+//! across cores via [`par::ParRunner`], whose job-order merge keeps the
+//! combined output bit-identical to a sequential loop (set
+//! `DMS_THREADS=1` to force sequential execution).
 //!
 //! ## Example
 //!
@@ -42,12 +48,14 @@
 //! ```
 
 pub mod engine;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, EventQueue, Model, ScheduledEvent};
+pub use par::ParRunner;
 pub use rng::SimRng;
 pub use stats::{Autocorrelation, ConfidenceInterval, Histogram, OnlineStats, TimeWeighted};
 pub use time::SimTime;

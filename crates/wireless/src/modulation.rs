@@ -96,8 +96,31 @@ impl Modulation {
     /// The smallest per-bit SNR (linear) achieving `target_ber`, found
     /// by bisection. Returns `None` for unattainable targets (≤ 0) or a
     /// trivial target (≥ 0.5 needs no signal).
+    ///
+    /// The bisection result depends only on `(self, target_ber)`, and
+    /// adaptive-modulation traces ask the same question once per slot
+    /// per scheme, so results are memoised per thread. The cache is
+    /// thread-local rather than shared to keep parallel replications
+    /// lock-free; each worker pays the bisection at most once per key.
     #[must_use]
     pub fn required_gamma_b(self, target_ber: f64) -> Option<f64> {
+        use std::cell::RefCell;
+        use std::collections::HashMap;
+
+        thread_local! {
+            static GAMMA_B_CACHE: RefCell<HashMap<(Modulation, u64), Option<f64>>> =
+                RefCell::new(HashMap::new());
+        }
+        GAMMA_B_CACHE.with(|cache| {
+            *cache
+                .borrow_mut()
+                .entry((self, target_ber.to_bits()))
+                .or_insert_with(|| self.bisect_gamma_b(target_ber))
+        })
+    }
+
+    /// Uncached bisection behind [`Modulation::required_gamma_b`].
+    fn bisect_gamma_b(self, target_ber: f64) -> Option<f64> {
         if target_ber <= 0.0 {
             return None;
         }
@@ -206,6 +229,19 @@ mod tests {
     fn required_gamma_edge_cases() {
         assert_eq!(Modulation::Bpsk.required_gamma_b(0.0), None);
         assert_eq!(Modulation::Bpsk.required_gamma_b(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn required_gamma_cache_is_transparent() {
+        // The memoised entry must be bit-identical to a fresh bisection,
+        // including a repeat call served from the cache.
+        for m in Modulation::ALL {
+            for target in [1e-2, 1e-4, 1e-6, 0.0, 0.5, -1.0] {
+                let fresh = m.bisect_gamma_b(target);
+                assert_eq!(m.required_gamma_b(target), fresh, "{m:?} target {target}");
+                assert_eq!(m.required_gamma_b(target), fresh, "{m:?} cached repeat");
+            }
+        }
     }
 
     #[test]

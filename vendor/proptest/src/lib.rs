@@ -1,0 +1,300 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A deterministic, shrink-free property-testing harness implementing
+//! the API surface the `dms` test suites use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`],
+//! * the [`strategy::Strategy`] trait with `prop_map`, numeric-range
+//!   and tuple strategies, [`collection::vec`], [`bool::ANY`] and
+//!   [`strategy::Just`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports the
+//! panic directly), and the per-test RNG is seeded from the test's
+//! name, so runs are fully reproducible without a persistence file.
+
+pub mod strategy;
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Configuration for a [`crate::proptest!`] block, mirroring
+    /// `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the full offline suite
+            // fast while still exploring each property broadly.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a property case failed, mirroring
+    /// `proptest::test_runner::TestCaseError`. Test bodies may
+    /// `return Ok(())` to accept a case early or `Err` to fail it.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The generated input was rejected (counts as a skip).
+        Reject(String),
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's name so every
+    /// run explores the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for the named test.
+        #[must_use]
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in name.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Mutable access to the backing generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Strategies over `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The uniform strategy over `{false, true}`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `bool` strategy, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive-exclusive size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.rng().gen_range(self.size.min..self.size.max_excl);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The proptest prelude: everything a test module normally imports.
+pub mod prelude {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut proptest_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _ in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut proptest_rng);)+
+                    // The body runs in a `Result` closure so tests can
+                    // `return Ok(())` to accept a case early, as with
+                    // upstream proptest.
+                    let proptest_case = move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    let case: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        proptest_case();
+                    if let ::std::result::Result::Err(e) = case {
+                        panic!("property case failed: {e:?}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message on
+/// failure, like an `assert!` — this stub does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Chooses uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("bounds");
+        let s = collection::vec(0u64..100, 3..10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((3..10).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_oneof_work() {
+        let mut rng = crate::test_runner::TestRng::for_test("map");
+        let s = prop_oneof![
+            (0u8..4).prop_map(|x| x as i32),
+            (10u8..14).prop_map(|x| x as i32),
+        ];
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((0..4).contains(&v) || (10..14).contains(&v));
+            low |= v < 4;
+            high |= v >= 10;
+        }
+        assert!(low && high, "both branches should be taken");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_generates_args(x in 0u32..50, ys in collection::vec(-1.0f64..1.0, 1..5)) {
+            prop_assert!(x < 50);
+            prop_assert!(!ys.is_empty() && ys.len() < 5);
+            prop_assert!(ys.iter().all(|y| (-1.0..1.0).contains(y)));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements the four distributions the `dms` workspace samples —
+//! [`Exp`], [`Normal`], [`LogNormal`], [`Pareto`] — with classic
+//! textbook methods (inverse transform, Box–Muller). Parameter
+//! validation mirrors upstream: constructors reject non-finite or
+//! out-of-domain parameters with an `Err`, so `SimRng`'s
+//! `.expect("valid …")` calls behave identically.
+
+use rand::{Rng, RngCore};
+
+/// Error returned by distribution constructors for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistrError(&'static str);
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+/// A distribution that can produce samples of `T`, mirroring
+/// `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform draw in the open interval (0, 1]; avoids `ln(0)`.
+#[inline]
+fn open_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - rng.gen::<f64>()
+}
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, DistrError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(DistrError("Exp rate"));
+        }
+        Ok(Exp { rate: lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open_unit(rng).ln() / self.rate
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistrError> {
+        if !(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0) {
+            return Err(DistrError("Normal parameters"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// One standard-normal variate by Box–Muller (cosine branch).
+    #[inline]
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        let u1 = open_unit(rng);
+        let u2 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard(rng)
+    }
+}
+
+/// Log-normal distribution parameterised by the underlying normal's
+/// `μ` and `σ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    normal: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution; `sigma` must be finite and
+    /// non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistrError> {
+        Ok(LogNormal {
+            normal: Normal::new(mu, sigma).map_err(|_| DistrError("LogNormal parameters"))?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+}
+
+/// Pareto distribution with scale `x_m` and shape `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution; both parameters must be finite
+    /// and positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, DistrError> {
+        if !(scale.is_finite() && scale > 0.0 && shape.is_finite() && shape > 0.0) {
+            return Err(DistrError("Pareto parameters"));
+        }
+        Ok(Pareto { scale, shape })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * open_unit(rng).powf(-1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn exp_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Exp::new(0.5).expect("valid");
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(3.0, 2.0).expect("valid");
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn pareto_exceeds_scale_and_has_pareto_median() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Pareto::new(2.0, 1.5).expect("valid");
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x >= 2.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Median of Pareto(x_m, α) is x_m · 2^(1/α).
+        let median = samples[samples.len() / 2];
+        let expected = 2.0 * 2f64.powf(1.0 / 1.5);
+        assert!((median / expected - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_is_exp_of_normal() {
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        let ln = LogNormal::new(0.3, 0.7).expect("valid");
+        let n = Normal::new(0.3, 0.7).expect("valid");
+        for _ in 0..100 {
+            assert!((ln.sample(&mut a) - n.sample(&mut b).exp()).abs() < 1e-12);
+        }
+    }
+}

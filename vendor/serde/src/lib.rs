@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations — nothing serializes yet (there is no
+//! `serde_json`/`bincode` in the dependency tree). This stub provides
+//! the two trait names so imports resolve, and re-exports no-op derive
+//! macros under the same names (Rust keeps trait and derive-macro
+//! namespaces separate, exactly like upstream serde's re-export).
+//!
+//! When real serialization is needed, replace this crate with upstream
+//! `serde` — call sites will not change.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
