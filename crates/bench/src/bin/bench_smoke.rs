@@ -32,7 +32,7 @@ fn main() {
     // Per-experiment timings, isolated: sequential inside and out
     // (DMS_THREADS=1), so the numbers are comparable across machines.
     std::env::set_var("DMS_THREADS", "1");
-    const EXPERIMENTS: [fn() -> Experiment; 17] = [
+    const EXPERIMENTS: [fn() -> Experiment; 18] = [
         dms_bench::fig1_stream,
         dms_bench::fig2_design_flow,
         dms_bench::e1_asip_speedup,
@@ -46,6 +46,7 @@ fn main() {
         dms_bench::e9_manet_routing,
         dms_bench::e10_steady_state,
         dms_bench::e11_ambient,
+        dms_bench::e12_server_load,
         dms_bench::x1_lip_sync,
         dms_bench::x2_ctmc_transient,
         dms_bench::x3_mapped_validation,
@@ -94,6 +95,27 @@ fn main() {
          ({hosking_cold:.3} s cold) -> {fgn_speedup:.1}x"
     );
 
+    // E12 server sweep, point by point: each (process, load, arm) job
+    // is a single seeded run, so these are the per-shard costs the
+    // ParRunner balances when the full sweep fans out.
+    println!("\nE12 load points:");
+    let mut e12_points_timed: Vec<(String, f64)> = Vec::new();
+    for point in dms_bench::e12_points() {
+        let mut report = None;
+        let secs = seconds_of(|| {
+            report = Some(dms_bench::e12_run_point(point));
+        });
+        let r = report.expect("point ran");
+        println!(
+            "  {:<28} {:6.3} s  miss {:5.2}%  utility {:.3}",
+            point.label(),
+            secs,
+            r.miss_rate() * 100.0,
+            r.mean_utility()
+        );
+        e12_points_timed.push((point.label(), secs));
+    }
+
     // Hand-rendered JSON: the workspace is offline and vendors no JSON
     // crate, and the schema is flat enough that formatting is trivial.
     let mut json = String::from("{\n  \"experiments\": [\n");
@@ -108,8 +130,16 @@ fn main() {
         "  \"suite\": {{ \"sequential_seconds\": {sequential:.6}, \"parallel_seconds\": {parallel:.6}, \"speedup\": {suite_speedup:.3}, \"threads\": {threads} }},\n"
     ));
     json.push_str(&format!(
-        "  \"fgn_65536\": {{ \"circulant_seconds\": {circulant:.6}, \"hosking_cold_seconds\": {hosking_cold:.6}, \"hosking_warm_seconds\": {hosking_warm:.6}, \"speedup\": {fgn_speedup:.3} }}\n"
+        "  \"fgn_65536\": {{ \"circulant_seconds\": {circulant:.6}, \"hosking_cold_seconds\": {hosking_cold:.6}, \"hosking_warm_seconds\": {hosking_warm:.6}, \"speedup\": {fgn_speedup:.3} }},\n"
     ));
+    json.push_str("  \"e12_load_points\": [\n");
+    for (i, (label, secs)) in e12_points_timed.iter().enumerate() {
+        let comma = if i + 1 == e12_points_timed.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{ \"point\": \"{label}\", \"seconds\": {secs:.6} }}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n");
     json.push_str("}\n");
     std::fs::write("BENCH_experiments.json", json).expect("write BENCH_experiments.json");
     println!("\nwrote BENCH_experiments.json");

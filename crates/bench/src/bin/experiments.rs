@@ -2,11 +2,19 @@
 //!
 //! Run with: `cargo run --release -p dms-bench --bin experiments`
 //!
+//! Optional arguments are experiment ids (case-insensitive): pass
+//! `E12` to print only that experiment — CI uses this to diff a single
+//! experiment between `DMS_THREADS=1` and parallel runs.
+//!
 //! The output of this binary is the source of `EXPERIMENTS.md`.
 
 fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
     println!("# dms experiment reproductions (seeded, deterministic)\n");
     for exp in dms_bench::all_experiments() {
+        if !filter.is_empty() && !filter.iter().any(|f| f.eq_ignore_ascii_case(exp.id)) {
+            continue;
+        }
         println!("## {} — {}\n", exp.id, exp.title);
         println!("| metric | paper | measured |");
         println!("|--------|-------|----------|");

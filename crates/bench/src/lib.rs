@@ -26,6 +26,10 @@ use dms_noc::sched::{random_task_graph, EdfScheduler, EnergyAwareScheduler, Sche
 use dms_noc::sim::{NocConfig, NocSim};
 use dms_noc::topology::{Mesh2d, TileId};
 use dms_noc::traffic::InjectionProcess;
+use dms_serve::{
+    rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig, ServerConfig,
+    ServerReport, ServerSim, SessionTemplate, Workload,
+};
 use dms_sim::{ParRunner, SimRng};
 use dms_wireless::channel::FadingChannel;
 use dms_wireless::fgs::{FgsStreamer, StreamingPolicy};
@@ -605,6 +609,225 @@ pub fn e11_ambient() -> Experiment {
     }
 }
 
+/// Server arm of one E12 sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum E12Arm {
+    /// Admit everything, never shed a layer: the collapse baseline.
+    Uncontrolled,
+    /// Admit everything but let the QoS controller shed FGS layers.
+    DegradeOnly,
+    /// Analytical admission control plus layer shedding.
+    Controlled,
+}
+
+impl E12Arm {
+    fn label(self) -> &'static str {
+        match self {
+            E12Arm::Uncontrolled => "uncontrolled",
+            E12Arm::DegradeOnly => "degrade-only",
+            E12Arm::Controlled => "controlled",
+        }
+    }
+}
+
+/// One `(arrival process, offered load, server arm)` point of the E12
+/// sweep. The grid comes from [`e12_points`]; each point is an
+/// independent seeded job, which is how the sweep shards across the
+/// [`ParRunner`] (and how `bench_smoke` times it point by point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E12Point {
+    /// Offered load as a multiple of link capacity at full quality.
+    pub load: f64,
+    /// Self-similar (fGn, H = 0.85) rather than Poisson arrivals.
+    pub self_similar: bool,
+    /// Which server variant handles the workload.
+    pub arm: E12Arm,
+}
+
+impl E12Point {
+    /// Stable human-readable label (`poisson-1.2x-controlled`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{:.1}x-{}",
+            if self.self_similar { "selfsim" } else { "poisson" },
+            self.load,
+            self.arm.label()
+        )
+    }
+}
+
+/// Link capacity of the E12 server, in concurrent full-quality
+/// sessions: 2 000 sessions saturate the link at offered load 1.0.
+const E12_SESSIONS: u64 = 2_000;
+/// Slots each E12 point simulates.
+const E12_SLOTS: u64 = 700;
+/// Mean session holding time used by E12 (shorter than the template
+/// default so the sweep sees several session generations per run).
+const E12_DURATION_SLOTS: f64 = 150.0;
+
+/// The full E12 sweep grid: offered loads 0.5–1.5× capacity, Poisson
+/// and self-similar arrivals, all three server arms.
+#[must_use]
+pub fn e12_points() -> Vec<E12Point> {
+    let mut points = Vec::new();
+    for &self_similar in &[false, true] {
+        for &load in &[0.5, 0.8, 1.0, 1.2, 1.5] {
+            for &arm in &[E12Arm::Uncontrolled, E12Arm::DegradeOnly, E12Arm::Controlled] {
+                points.push(E12Point {
+                    load,
+                    self_similar,
+                    arm,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs one E12 sweep point. Seeds depend only on `(process, load)`,
+/// so the three arms of a point see the *same* arrival sequence and
+/// their comparison is paired, not statistical.
+#[must_use]
+pub fn e12_run_point(point: E12Point) -> ServerReport {
+    let mut template = SessionTemplate::streaming_default().expect("preset valid");
+    template.mean_duration_slots = E12_DURATION_SLOTS;
+    let capacity = CapacityModel {
+        link_bits_per_slot: E12_SESSIONS * template.full_bits(),
+        queue_frames: 64,
+        occupancy_bound: 8.0,
+    };
+    let rate = rate_for_load(point.load, &template, capacity.link_bits_per_slot);
+    let process = if point.self_similar {
+        ArrivalProcess::SelfSimilar {
+            rate,
+            hurst: 0.85,
+            burstiness: 1.0,
+        }
+    } else {
+        ArrivalProcess::Poisson { rate }
+    };
+    let seed = 2004 + u64::from(point.self_similar) * 100 + (point.load * 10.0).round() as u64;
+    let workload = Workload::generate(process, template, E12_SLOTS, seed).expect("valid workload");
+    let (policy, degrade) = match point.arm {
+        E12Arm::Uncontrolled => (AdmissionPolicy::AdmitAll, None),
+        E12Arm::DegradeOnly => (AdmissionPolicy::AdmitAll, Some(DegradeConfig::default())),
+        E12Arm::Controlled => (AdmissionPolicy::QueuePredictor, Some(DegradeConfig::default())),
+    };
+    let server = ServerSim::new(ServerConfig {
+        capacity,
+        policy,
+        degrade,
+        buffer_slots: 4,
+        miss_slots: 2,
+    })
+    .expect("valid config");
+    server.run(&workload).expect("valid template")
+}
+
+/// E12 — the multi-session streaming server under offered-load sweep:
+/// admission control bounds the deadline-miss rate where the
+/// uncontrolled server collapses, and FGS layer shedding turns the
+/// overload cliff into a graceful utility slope.
+#[must_use]
+pub fn e12_server_load() -> Experiment {
+    let points = e12_points();
+    let reports = ParRunner::new().map(&points, |&p| e12_run_point(p));
+    let find = |load: f64, self_similar: bool, arm: E12Arm| -> &ServerReport {
+        let want = E12Point {
+            load,
+            self_similar,
+            arm,
+        };
+        points
+            .iter()
+            .position(|p| *p == want)
+            .map(|i| &reports[i])
+            .expect("point is on the grid")
+    };
+    let mut rows = Vec::new();
+    for &ss in &[false, true] {
+        let name = if ss { "self-similar" } else { "Poisson" };
+        let unc = find(1.2, ss, E12Arm::Uncontrolled);
+        let ctl = find(1.2, ss, E12Arm::Controlled);
+        let base = find(0.8, ss, E12Arm::Controlled);
+        let gap = if ctl.miss_rate() > 0.0 {
+            format!("({:.0}x)", unc.miss_rate() / ctl.miss_rate())
+        } else {
+            "(controlled is miss-free)".to_string()
+        };
+        rows.push(Row::new(
+            format!("{name}: miss rate at 1.2x, uncontrolled vs controlled"),
+            "collapse vs bounded (> 5x apart)",
+            format!(
+                "{:.1}% vs {:.2}% {gap}",
+                unc.miss_rate() * 100.0,
+                ctl.miss_rate() * 100.0,
+            ),
+        ));
+        rows.push(Row::new(
+            format!("{name}: controlled mean utility 0.8x -> 1.2x"),
+            "within 25% of the under-load baseline",
+            format!(
+                "{:.3} -> {:.3} ({:.0}% kept)",
+                base.mean_utility(),
+                ctl.mean_utility(),
+                ctl.mean_utility() / base.mean_utility() * 100.0
+            ),
+        ));
+        let unc15 = find(1.5, ss, E12Arm::Uncontrolled);
+        let shed15 = find(1.5, ss, E12Arm::DegradeOnly);
+        rows.push(Row::new(
+            format!("{name}: utility at 1.5x, cliff vs layer shedding"),
+            "shedding degrades gracefully",
+            format!(
+                "{:.3} (no shedding) vs {:.3} at {:.1} mean layers",
+                unc15.mean_utility(),
+                shed15.mean_utility(),
+                shed15.mean_layers
+            ),
+        ));
+        rows.push(Row::new(
+            format!("{name}: sessions rejected at 1.2x / 1.5x"),
+            "grows with overload",
+            format!(
+                "{:.0}% / {:.0}%",
+                find(1.2, ss, E12Arm::Controlled).rejection_rate() * 100.0,
+                find(1.5, ss, E12Arm::Controlled).rejection_rate() * 100.0
+            ),
+        ));
+    }
+    let p_unc = find(1.0, false, E12Arm::Uncontrolled);
+    let s_unc = find(1.0, true, E12Arm::Uncontrolled);
+    rows.push(Row::new(
+        "1.0x uncontrolled miss rate, Poisson vs self-similar",
+        "same mean load: LRD bursts hurt far more (S3.2)",
+        format!(
+            "{:.2}% vs {:.2}%",
+            p_unc.miss_rate() * 100.0,
+            s_unc.miss_rate() * 100.0
+        ),
+    ));
+    let p_ctl = find(1.2, false, E12Arm::Controlled);
+    let s_ctl = find(1.2, true, E12Arm::Controlled);
+    rows.push(Row::new(
+        "controlled 1.2x: predicted vs measured occupancy (frames)",
+        "admitted set stays under the M/M/1/K bound",
+        format!(
+            "Poisson {:.1} vs {:.2}, self-similar {:.1} vs {:.2}",
+            p_ctl.predicted_occupancy,
+            p_ctl.measured_occupancy,
+            s_ctl.predicted_occupancy,
+            s_ctl.measured_occupancy
+        ),
+    ));
+    Experiment {
+        id: "E12",
+        title: "Streaming server under load: admission control + FGS shedding (S2.2, S3.2, S4)",
+        rows,
+    }
+}
+
 /// X1 — lip synchronisation (extension; §2.1's temporal relationship,
 /// not a numbered claim of the paper).
 #[must_use]
@@ -778,7 +1001,7 @@ pub fn x4_arq_packet_size() -> Experiment {
 /// (`DMS_THREADS=1` forces that loop back).
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {
-    const EXPERIMENTS: [fn() -> Experiment; 17] = [
+    const EXPERIMENTS: [fn() -> Experiment; 18] = [
         fig1_stream,
         fig2_design_flow,
         e1_asip_speedup,
@@ -792,6 +1015,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         e9_manet_routing,
         e10_steady_state,
         e11_ambient,
+        e12_server_load,
         x1_lip_sync,
         x2_ctmc_transient,
         x3_mapped_validation,
@@ -844,6 +1068,39 @@ mod tests {
             .parse()
             .expect("saving row");
         assert!(saving > 40.0, "E3 saving {saving}%");
+
+        // E12: at 1.2x offered load the controlled server keeps mean
+        // utility within 25% of the 0.8x baseline, while the
+        // uncontrolled server misses deadlines > 5x more often.
+        for &ss in &[false, true] {
+            let base = e12_run_point(E12Point {
+                load: 0.8,
+                self_similar: ss,
+                arm: E12Arm::Controlled,
+            });
+            let ctl = e12_run_point(E12Point {
+                load: 1.2,
+                self_similar: ss,
+                arm: E12Arm::Controlled,
+            });
+            let unc = e12_run_point(E12Point {
+                load: 1.2,
+                self_similar: ss,
+                arm: E12Arm::Uncontrolled,
+            });
+            assert!(
+                ctl.mean_utility() >= 0.75 * base.mean_utility(),
+                "E12 ss={ss}: controlled utility {} vs baseline {}",
+                ctl.mean_utility(),
+                base.mean_utility()
+            );
+            assert!(
+                unc.miss_rate() > 5.0 * ctl.miss_rate() && unc.miss_rate() > 0.05,
+                "E12 ss={ss}: uncontrolled miss {} vs controlled {}",
+                unc.miss_rate(),
+                ctl.miss_rate()
+            );
+        }
 
         // E9: battery-cost routing improves lifetime by >20%.
         let e9 = e9_manet_routing();

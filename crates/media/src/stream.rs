@@ -180,14 +180,56 @@ pub struct StreamReport {
 }
 
 impl StreamReport {
-    /// Overall loss rate: everything not delivered over everything emitted.
+    /// Every packet the report accounts for (delivered or lost anywhere).
+    fn accounted(&self) -> u64 {
+        self.delivered + self.lost_channel + self.dropped_tx + self.dropped_rx
+    }
+
+    /// Overall loss rate: everything not delivered over everything
+    /// emitted. A zero-packet run (an empty session) is lossless by
+    /// definition, not NaN.
     #[must_use]
     pub fn loss_rate(&self) -> f64 {
-        let total = self.delivered + self.lost_channel + self.dropped_tx + self.dropped_rx;
+        if self.accounted() == 0 {
+            0.0
+        } else {
+            1.0 - self.delivery_rate()
+        }
+    }
+
+    /// Fraction of emitted packets the sink consumed; `0.0` for a
+    /// zero-packet run.
+    #[must_use]
+    pub fn delivery_rate(&self) -> f64 {
+        let total = self.accounted();
         if total == 0 {
             0.0
         } else {
-            1.0 - self.delivered as f64 / total as f64
+            self.delivered as f64 / total as f64
+        }
+    }
+
+    /// Fraction of emitted packets dropped at either finite buffer
+    /// (Tx or Rx overflow); `0.0` for a zero-packet run.
+    #[must_use]
+    pub fn buffer_drop_rate(&self) -> f64 {
+        let total = self.accounted();
+        if total == 0 {
+            0.0
+        } else {
+            (self.dropped_tx + self.dropped_rx) as f64 / total as f64
+        }
+    }
+
+    /// Mean retransmission attempts per emitted packet; `0.0` for a
+    /// zero-packet run.
+    #[must_use]
+    pub fn retransmission_rate(&self) -> f64 {
+        let total = self.accounted();
+        if total == 0 {
+            0.0
+        } else {
+            self.retransmissions as f64 / total as f64
         }
     }
 }
@@ -533,6 +575,48 @@ mod tests {
         let a = StreamSim::run(base_config(), 7).expect("valid");
         let b = StreamSim::run(base_config(), 7).expect("valid");
         assert_eq!(a, b);
+    }
+
+    /// The empty-session edge case the `dms-serve` load generator hits:
+    /// a session admitted and torn down before emitting anything must
+    /// report clean zero rates, never NaN.
+    #[test]
+    fn zero_packet_run_has_zero_rates() {
+        let r = StreamReport {
+            delivered: 0,
+            lost_channel: 0,
+            dropped_tx: 0,
+            dropped_rx: 0,
+            retransmissions: 0,
+            mean_latency_ticks: 0.0,
+            jitter_ticks: 0.0,
+            rx_occupancy_avg: 0.0,
+            rx_occupancy_peak: 0.0,
+            duration_ticks: 0,
+        };
+        for (name, rate) in [
+            ("loss_rate", r.loss_rate()),
+            ("delivery_rate", r.delivery_rate()),
+            ("buffer_drop_rate", r.buffer_drop_rate()),
+            ("retransmission_rate", r.retransmission_rate()),
+        ] {
+            assert!(rate == 0.0, "{name} must be 0.0 on empty runs, got {rate}");
+        }
+    }
+
+    #[test]
+    fn rate_accessors_partition_the_emitted_packets() {
+        let mut cfg = base_config();
+        cfg.channel = ChannelModel::bursty_wireless(3);
+        cfg.max_retransmissions = 2;
+        cfg.sink_interval = 15;
+        let r = StreamSim::run(cfg, 13).expect("valid");
+        assert!(
+            (r.delivery_rate() + r.loss_rate() - 1.0).abs() < 1e-12,
+            "delivery and loss must partition"
+        );
+        assert!(r.buffer_drop_rate() <= r.loss_rate() + 1e-12);
+        assert!(r.retransmission_rate() >= 0.0);
     }
 
     #[test]

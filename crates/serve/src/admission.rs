@@ -1,0 +1,228 @@
+//! Analytical admission control (§2.2 used online).
+//!
+//! The paper's §2.2 point is that analytical steady-state models are
+//! cheap enough to consult *during* design; a streaming server can go
+//! one step further and consult them per admission decision. The
+//! controller models the shared transmit path as an M/M/1/K queue
+//! ([`dms_analysis::MM1KQueue`]) in units of full-quality session
+//! frames: service rate `μ = C / full_bits` frames per slot, arrival
+//! rate `λ = aggregate admitted demand / full_bits`. A candidate is
+//! admitted only if the *predicted mean occupancy* of the resulting
+//! session set stays under the configured bound.
+//!
+//! The prediction is knowingly optimistic for self-similar traffic —
+//! exactly the §3.2 mismatch experiment E12 measures by comparing the
+//! predicted occupancy against the measured one. The safety property
+//! (never admit a set whose prediction exceeds the bound, rejection
+//! monotone in offered load) is property-tested in
+//! `tests/proptest_serve.rs`.
+
+use dms_analysis::MM1KQueue;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+
+/// The server capacity model admission decisions are made against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityModel {
+    /// Shared link capacity, bits per slot.
+    pub link_bits_per_slot: u64,
+    /// System size `K` of the M/M/1/K predictor, in frames.
+    pub queue_frames: u32,
+    /// Admission bound on the predicted mean occupancy, frames. Must
+    /// not exceed `queue_frames`.
+    pub occupancy_bound: f64,
+}
+
+impl CapacityModel {
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.link_bits_per_slot == 0 {
+            return Err(ServeError::InvalidParameter("link_bits_per_slot"));
+        }
+        if self.queue_frames == 0 {
+            return Err(ServeError::InvalidParameter("queue_frames"));
+        }
+        if !(self.occupancy_bound > 0.0 && self.occupancy_bound <= f64::from(self.queue_frames)) {
+            return Err(ServeError::InvalidParameter("occupancy_bound"));
+        }
+        Ok(())
+    }
+}
+
+/// Whether (and how) sessions are vetted before activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// No control: every session is admitted (the collapse baseline).
+    AdmitAll,
+    /// Admit only while the M/M/1/K-predicted mean occupancy of the
+    /// admitted set stays under the capacity model's bound.
+    QueuePredictor,
+}
+
+/// The admission controller: stateless prediction plus accept/reject
+/// bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionController {
+    model: CapacityModel,
+    policy: AdmissionPolicy,
+    /// Reference frame size used to convert bits to "frames", bits.
+    frame_bits: u64,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl AdmissionController {
+    /// Creates a controller for sessions whose full-quality per-slot
+    /// demand is `frame_bits`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity-model validation; rejects `frame_bits == 0`.
+    pub fn new(
+        model: CapacityModel,
+        policy: AdmissionPolicy,
+        frame_bits: u64,
+    ) -> Result<Self, ServeError> {
+        model.validate()?;
+        if frame_bits == 0 {
+            return Err(ServeError::InvalidParameter("frame_bits"));
+        }
+        Ok(AdmissionController {
+            model,
+            policy,
+            frame_bits,
+            admitted: 0,
+            rejected: 0,
+        })
+    }
+
+    /// The capacity model decisions are made against.
+    #[must_use]
+    pub fn model(&self) -> &CapacityModel {
+        &self.model
+    }
+
+    /// Predicted mean queue occupancy (frames) if the admitted set
+    /// demands `demand_bits` per slot in aggregate. Zero demand means
+    /// an empty queue; demand is otherwise fed to the M/M/1/K formulas
+    /// (which remain defined past `ρ = 1`).
+    #[must_use]
+    pub fn predicted_occupancy(&self, demand_bits: u64) -> f64 {
+        if demand_bits == 0 {
+            return 0.0;
+        }
+        let mu = self.model.link_bits_per_slot as f64 / self.frame_bits as f64;
+        let lambda = demand_bits as f64 / self.frame_bits as f64;
+        MM1KQueue::new(lambda, mu, self.model.queue_frames)
+            .map(|q| q.mean_queue_length())
+            // Unreachable with validated inputs; fail closed (treat as
+            // saturated) rather than admit blindly.
+            .unwrap_or(f64::from(self.model.queue_frames))
+    }
+
+    /// Decides whether a candidate with full-quality demand
+    /// `candidate_bits` joins a set already demanding `active_bits` per
+    /// slot, and records the outcome.
+    pub fn decide(&mut self, active_bits: u64, candidate_bits: u64) -> bool {
+        let admit = match self.policy {
+            AdmissionPolicy::AdmitAll => true,
+            AdmissionPolicy::QueuePredictor => {
+                self.predicted_occupancy(active_bits + candidate_bits)
+                    <= self.model.occupancy_bound
+            }
+        };
+        if admit {
+            self.admitted += 1;
+        } else {
+            self.rejected += 1;
+        }
+        admit
+    }
+
+    /// Sessions admitted so far.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Sessions rejected so far.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CapacityModel {
+        CapacityModel {
+            link_bits_per_slot: 100_000,
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_models() {
+        let mut m = model();
+        m.link_bits_per_slot = 0;
+        assert!(AdmissionController::new(m, AdmissionPolicy::AdmitAll, 10).is_err());
+        let mut m = model();
+        m.queue_frames = 0;
+        assert!(AdmissionController::new(m, AdmissionPolicy::AdmitAll, 10).is_err());
+        let mut m = model();
+        m.occupancy_bound = 100.0; // > queue_frames
+        assert!(AdmissionController::new(m, AdmissionPolicy::AdmitAll, 10).is_err());
+        assert!(AdmissionController::new(model(), AdmissionPolicy::AdmitAll, 0).is_err());
+    }
+
+    #[test]
+    fn admit_all_never_rejects() {
+        let mut c =
+            AdmissionController::new(model(), AdmissionPolicy::AdmitAll, 1_000).expect("valid");
+        for k in 0..100 {
+            assert!(c.decide(k * 1_000_000, 1_000_000));
+        }
+        assert_eq!(c.admitted(), 100);
+        assert_eq!(c.rejected(), 0);
+    }
+
+    #[test]
+    fn predictor_admits_light_load_and_rejects_overload() {
+        let mut c = AdmissionController::new(model(), AdmissionPolicy::QueuePredictor, 1_000)
+            .expect("valid");
+        // 50% utilisation: mean occupancy ≈ 1 frame, well under bound 8.
+        assert!(c.decide(49_000, 1_000));
+        // Far past capacity: occupancy ≈ K, rejected.
+        assert!(!c.decide(300_000, 1_000));
+        assert_eq!((c.admitted(), c.rejected()), (1, 1));
+    }
+
+    #[test]
+    fn predicted_occupancy_is_monotone_in_demand() {
+        let c = AdmissionController::new(model(), AdmissionPolicy::QueuePredictor, 1_000)
+            .expect("valid");
+        let mut last = -1.0;
+        for demand in (0..=40).map(|k| k * 10_000) {
+            let occ = c.predicted_occupancy(demand);
+            assert!(occ >= last, "occupancy must not decrease with demand");
+            assert!(occ <= f64::from(c.model().queue_frames));
+            last = occ;
+        }
+    }
+
+    #[test]
+    fn empty_set_predicts_empty_queue() {
+        let c = AdmissionController::new(model(), AdmissionPolicy::QueuePredictor, 1_000)
+            .expect("valid");
+        assert_eq!(c.predicted_occupancy(0), 0.0);
+    }
+}

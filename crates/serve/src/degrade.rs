@@ -1,0 +1,180 @@
+//! Graceful QoS degradation by FGS layer shedding.
+//!
+//! Admission control bounds the *mean* load, but long-range-dependent
+//! arrivals (§3.2) still pile sessions up in bursts that no mean-based
+//! bound prevents. [`LayerController`] is the second line of defence:
+//! when the instantaneous full-quality demand of the active sessions
+//! overruns the link, it sheds FGS enhancement planes server-wide —
+//! every session keeps its mandatory base layer and loses quality
+//! *fine-granularly* instead of missing deadlines. This is the E11
+//! property ("graceful degradation, no cliffs") raised to server scale,
+//! and the server-side dual of the client-feedback truncation of
+//! [`dms_wireless::fgs`].
+//!
+//! Hysteresis (separate shed/restore thresholds, restore only once the
+//! backlog has drained) keeps the controller from oscillating at a
+//! threshold.
+
+use dms_media::fgs::BIT_PLANES;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+
+/// Configuration of the layer-shedding controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradeConfig {
+    /// Shed one plane when demand/capacity exceeds this (e.g. `1.0`).
+    pub shed_above: f64,
+    /// Restore one plane when demand/capacity falls below this *and*
+    /// the backlog has drained. Must be `< shed_above`.
+    pub restore_below: f64,
+    /// Planes the controller will never shed below (0 = base layer
+    /// only is acceptable under extreme overload).
+    pub min_layers: usize,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            shed_above: 1.0,
+            restore_below: 0.9,
+            min_layers: 0,
+        }
+    }
+}
+
+impl DegradeConfig {
+    /// Validates thresholds and bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if !(self.shed_above.is_finite() && self.shed_above > 0.0) {
+            return Err(ServeError::InvalidParameter("shed_above"));
+        }
+        if !(self.restore_below.is_finite()
+            && self.restore_below > 0.0
+            && self.restore_below < self.shed_above)
+        {
+            return Err(ServeError::InvalidParameter("restore_below"));
+        }
+        if self.min_layers > BIT_PLANES {
+            return Err(ServeError::InvalidParameter("min_layers"));
+        }
+        Ok(())
+    }
+}
+
+/// The server-wide enhancement-layer cap, adapted once per slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerController {
+    config: DegradeConfig,
+    layers: usize,
+}
+
+impl LayerController {
+    /// Creates a controller starting at full quality ([`BIT_PLANES`]
+    /// enhancement planes allowed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DegradeConfig::validate`] failures.
+    pub fn new(config: DegradeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        Ok(LayerController {
+            config,
+            layers: BIT_PLANES,
+        })
+    }
+
+    /// Current server-wide enhancement-layer cap.
+    #[must_use]
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Observes one slot — `full_demand_bits` is what the active
+    /// sessions would request at *full* quality, `backlog_bits` the
+    /// bits still queued from previous slots — and returns the layer
+    /// cap to serve the coming slot with.
+    ///
+    /// Shedding reacts to the full-quality pressure (so the controller
+    /// converges to the deepest cut that relieves the link instead of
+    /// flapping), restoring additionally waits for the backlog to
+    /// drain.
+    pub fn observe(&mut self, full_demand_bits: u64, capacity_bits: u64, backlog_bits: u64) -> usize {
+        let util = full_demand_bits as f64 / capacity_bits.max(1) as f64;
+        if util > self.config.shed_above {
+            // One plane per slot: sheds within BIT_PLANES slots of a
+            // burst onset, without overreacting to a single spike.
+            if self.layers > self.config.min_layers {
+                self.layers -= 1;
+            }
+        } else if util < self.config.restore_below && backlog_bits == 0 && self.layers < BIT_PLANES
+        {
+            self.layers += 1;
+        }
+        self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(LayerController::new(DegradeConfig::default()).is_ok());
+        let mut c = DegradeConfig::default();
+        c.restore_below = 1.5; // >= shed_above
+        assert!(LayerController::new(c).is_err());
+        let mut c = DegradeConfig::default();
+        c.min_layers = BIT_PLANES + 1;
+        assert!(LayerController::new(c).is_err());
+        let mut c = DegradeConfig::default();
+        c.shed_above = f64::NAN;
+        assert!(LayerController::new(c).is_err());
+    }
+
+    #[test]
+    fn sheds_one_plane_per_overloaded_slot_down_to_floor() {
+        let mut ctl = LayerController::new(DegradeConfig {
+            min_layers: 1,
+            ..DegradeConfig::default()
+        })
+        .expect("valid");
+        assert_eq!(ctl.layers(), BIT_PLANES);
+        for expect in (1..BIT_PLANES).rev() {
+            assert_eq!(ctl.observe(150, 100, 10), expect);
+        }
+        // At the floor: stays put no matter how hard the overload.
+        assert_eq!(ctl.observe(1_000, 100, 10), 1);
+        assert_eq!(ctl.observe(1_000, 100, 10), 1);
+    }
+
+    #[test]
+    fn restores_only_after_backlog_drains() {
+        let mut ctl = LayerController::new(DegradeConfig::default()).expect("valid");
+        ctl.observe(150, 100, 0); // shed one
+        assert_eq!(ctl.layers(), BIT_PLANES - 1);
+        // Load is light again but the backlog hasn't drained: hold.
+        assert_eq!(ctl.observe(50, 100, 7), BIT_PLANES - 1);
+        // Backlog gone: restore.
+        assert_eq!(ctl.observe(50, 100, 0), BIT_PLANES);
+        // Never exceeds the plane count.
+        assert_eq!(ctl.observe(50, 100, 0), BIT_PLANES);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_steady() {
+        let mut ctl = LayerController::new(DegradeConfig::default()).expect("valid");
+        ctl.observe(150, 100, 0);
+        let level = ctl.layers();
+        // Utilisation inside (restore_below, shed_above): no movement.
+        for _ in 0..10 {
+            assert_eq!(ctl.observe(95, 100, 0), level);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Error type for the `dms-serve` crate.
+
+/// Errors raised by workload generation, admission control and the
+/// server simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// A constructor argument is out of range; carries the field name.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidParameter(name) => {
+                write!(f, "invalid parameter: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

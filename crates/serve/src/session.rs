@@ -1,0 +1,424 @@
+//! The multi-session server: slotted multiplexing of admitted sessions
+//! over one shared link.
+//!
+//! [`ServerSim`] runs an open-loop [`Workload`] through
+//! a slotted server: every slot it drains due arrival/departure events
+//! from a [`dms_sim::EventQueue`] (FIFO within the slot, via
+//! [`EventQueue::drain_ready`]), asks the
+//! [`AdmissionController`] about each
+//! arrival, lets the [`LayerController`] pick
+//! the slot's FGS layer cap, and then divides the link capacity over
+//! the active sessions with a max-min fair water-filling allocation.
+//!
+//! A session that falls further than the deadline allowance behind is
+//! charged a *deadline miss* for the slot (utility zero, stale bits
+//! purged) — the client skipped ahead. Everything the report exposes is
+//! a deterministic function of `(config, workload)`, which is what lets
+//! experiment E12 shard (seed × load) points across
+//! [`dms_sim::ParRunner`] and still diff byte-for-byte against a
+//! single-threaded run.
+
+use dms_sim::{EventQueue, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::admission::{AdmissionController, AdmissionPolicy, CapacityModel};
+use crate::degrade::{DegradeConfig, LayerController};
+use crate::error::ServeError;
+use crate::workload::Workload;
+
+/// Full configuration of one server run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Link capacity and admission bound.
+    pub capacity: CapacityModel,
+    /// How arrivals are vetted.
+    pub policy: AdmissionPolicy,
+    /// Layer-shedding QoS controller; `None` disables degradation
+    /// (sessions always request every decodable layer).
+    pub degrade: Option<DegradeConfig>,
+    /// Per-session playout buffer, in slots of full-quality demand.
+    pub buffer_slots: u64,
+    /// Deadline allowance: a backlog beyond this many slots of
+    /// full-quality demand is a miss. Must be `< buffer_slots`.
+    pub miss_slots: u64,
+}
+
+impl ServerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] naming the offending
+    /// field; propagates nested validations.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.capacity.validate()?;
+        if let Some(d) = self.degrade {
+            d.validate()?;
+        }
+        if self.miss_slots == 0 {
+            return Err(ServeError::InvalidParameter("miss_slots"));
+        }
+        if self.buffer_slots <= self.miss_slots {
+            return Err(ServeError::InvalidParameter("buffer_slots"));
+        }
+        Ok(())
+    }
+}
+
+/// What one server run measured.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServerReport {
+    /// Sessions the workload offered.
+    pub offered: u64,
+    /// Sessions admitted / rejected by the controller.
+    pub admitted: u64,
+    /// Sessions turned away at arrival.
+    pub rejected: u64,
+    /// Active session-slots served (the denominator of the rates).
+    pub session_slots: u64,
+    /// Session-slots charged as deadline misses.
+    pub deadline_misses: u64,
+    /// Sum of per-session-slot utilities (misses contribute zero).
+    pub utility_sum: f64,
+    /// Bits actually delivered over the link.
+    pub delivered_bits: u64,
+    /// Bits dropped because a session's playout buffer overflowed.
+    pub buffer_dropped_bits: u64,
+    /// Stale bits purged by deadline-miss skips.
+    pub purged_bits: u64,
+    /// Slot-mean of the M/M/1/K-predicted occupancy (frames).
+    pub predicted_occupancy: f64,
+    /// Slot-mean of the measured backlog (frames) — the predictor's
+    /// ground truth.
+    pub measured_occupancy: f64,
+    /// Slot-mean FGS layer cap actually served (quality ceiling).
+    pub mean_layers: f64,
+    /// Slots simulated.
+    pub slots: u64,
+}
+
+impl ServerReport {
+    /// Deadline misses per active session-slot (0 for an idle run).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.session_slots == 0 {
+            return 0.0;
+        }
+        self.deadline_misses as f64 / self.session_slots as f64
+    }
+
+    /// Mean per-session-slot utility in `[0, 1]` (0 for an idle run).
+    #[must_use]
+    pub fn mean_utility(&self) -> f64 {
+        if self.session_slots == 0 {
+            return 0.0;
+        }
+        self.utility_sum / self.session_slots as f64
+    }
+
+    /// Fraction of offered sessions turned away.
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / self.offered as f64
+    }
+}
+
+/// Event payload of the server's slotted event loop.
+#[derive(Debug, Clone, Copy)]
+enum ServerEvent {
+    /// Index into `workload.sessions`.
+    Arrive(usize),
+    /// Session id to deactivate.
+    Depart(u64),
+}
+
+#[derive(Debug)]
+struct ActiveSession {
+    id: u64,
+    backlog_bits: u64,
+}
+
+/// The slotted multi-session server simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSim {
+    config: ServerConfig,
+}
+
+impl ServerSim {
+    /// Creates a server for a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServerConfig::validate`] failures.
+    pub fn new(config: ServerConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        Ok(ServerSim { config })
+    }
+
+    /// The configuration this server runs.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Runs `workload` to its horizon and reports what happened.
+    ///
+    /// Arrivals are pre-scheduled in generation order, so same-slot
+    /// arrivals drain FIFO by session id and always ahead of same-slot
+    /// departures (departures are scheduled later, at admission time) —
+    /// admission is thus deliberately conservative at the slot edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template validation errors.
+    pub fn run(&self, workload: &Workload) -> Result<ServerReport, ServeError> {
+        let template = workload.template;
+        template.validate()?;
+        let cfg = &self.config;
+        let full_bits = template.full_bits();
+        let buffer_bits = cfg.buffer_slots * full_bits;
+        let miss_bits = cfg.miss_slots * full_bits;
+
+        let mut admission = AdmissionController::new(cfg.capacity, cfg.policy, full_bits)?;
+        let mut degrade = cfg.degrade.map(LayerController::new).transpose()?;
+
+        let mut queue = EventQueue::with_capacity(workload.sessions.len() * 2);
+        for (idx, s) in workload.sessions.iter().enumerate() {
+            queue.schedule(SimTime::from_ticks(s.arrival_slot), ServerEvent::Arrive(idx));
+        }
+
+        let mut active: Vec<ActiveSession> = Vec::new();
+        let mut due: Vec<ServerEvent> = Vec::new();
+        let mut grants: Vec<u64> = Vec::new();
+        let mut order: Vec<usize> = Vec::new();
+        let mut report = ServerReport {
+            offered: workload.sessions.len() as u64,
+            slots: workload.slots,
+            ..ServerReport::default()
+        };
+
+        for slot in 0..workload.slots {
+            let now = SimTime::from_ticks(slot);
+            due.clear();
+            due.extend(queue.drain_ready(now).map(|ev| ev.payload));
+            for &ev in &due {
+                match ev {
+                    ServerEvent::Arrive(idx) => {
+                        let req = workload.sessions[idx];
+                        let active_bits = active.len() as u64 * full_bits;
+                        if admission.decide(active_bits, full_bits) {
+                            active.push(ActiveSession {
+                                id: req.id,
+                                backlog_bits: 0,
+                            });
+                            queue.schedule(
+                                SimTime::from_ticks(slot + req.duration_slots),
+                                ServerEvent::Depart(req.id),
+                            );
+                        }
+                    }
+                    ServerEvent::Depart(id) => active.retain(|s| s.id != id),
+                }
+            }
+
+            let full_demand = active.len() as u64 * full_bits;
+            report.predicted_occupancy += admission.predicted_occupancy(full_demand);
+
+            let carried: u64 = active.iter().map(|s| s.backlog_bits).sum();
+            let layers = match degrade.as_mut() {
+                Some(ctl) => ctl.observe(full_demand, cfg.capacity.link_bits_per_slot, carried),
+                None => template.max_layers,
+            };
+            report.mean_layers += layers.min(template.max_layers) as f64;
+
+            if active.is_empty() {
+                continue;
+            }
+
+            // Enqueue this slot's demand into each playout buffer.
+            let demand = template.demand_bits(layers);
+            for s in &mut active {
+                let want = s.backlog_bits + demand;
+                let capped = want.min(buffer_bits);
+                report.buffer_dropped_bits += want - capped;
+                s.backlog_bits = capped;
+            }
+
+            // Max-min fair water-filling: ascending backlog, ties by id,
+            // so small sessions are satisfied first and the slack flows
+            // to the backlogged ones. Integer division truncation leaves
+            // at most `n` bits per slot unallocated.
+            order.clear();
+            order.extend(0..active.len());
+            order.sort_by_key(|&i| (active[i].backlog_bits, active[i].id));
+            grants.clear();
+            grants.resize(active.len(), 0);
+            let mut remaining = cfg.capacity.link_bits_per_slot;
+            let mut left = order.len() as u64;
+            for &i in &order {
+                let share = remaining / left;
+                let grant = active[i].backlog_bits.min(share);
+                grants[i] = grant;
+                remaining -= grant;
+                left -= 1;
+            }
+
+            report.session_slots += active.len() as u64;
+            let mut backlog_after = 0u64;
+            for (s, &grant) in active.iter_mut().zip(&grants) {
+                s.backlog_bits -= grant;
+                report.delivered_bits += grant;
+                if s.backlog_bits > miss_bits {
+                    // Too far behind the deadline: the client skips
+                    // ahead, stale bits are worthless.
+                    report.deadline_misses += 1;
+                    report.purged_bits += s.backlog_bits - miss_bits;
+                    s.backlog_bits = miss_bits;
+                } else {
+                    report.utility_sum += template.utility(grant.min(full_bits));
+                }
+                backlog_after += s.backlog_bits;
+            }
+            report.measured_occupancy += backlog_after as f64 / full_bits as f64;
+        }
+
+        report.admitted = admission.admitted();
+        report.rejected = admission.rejected();
+        if report.slots > 0 {
+            report.predicted_occupancy /= report.slots as f64;
+            report.measured_occupancy /= report.slots as f64;
+            report.mean_layers /= report.slots as f64;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{rate_for_load, ArrivalProcess, SessionTemplate};
+
+    fn config(sessions: u64, template: &SessionTemplate, policy: AdmissionPolicy) -> ServerConfig {
+        ServerConfig {
+            capacity: CapacityModel {
+                link_bits_per_slot: sessions * template.full_bits(),
+                queue_frames: 64,
+                occupancy_bound: 8.0,
+            },
+            policy,
+            degrade: Some(DegradeConfig::default()),
+            buffer_slots: 4,
+            miss_slots: 2,
+        }
+    }
+
+    fn run_at_load(load: f64, policy: AdmissionPolicy, degrade: bool, seed: u64) -> ServerReport {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let mut cfg = config(20, &template, policy);
+        if !degrade {
+            cfg.degrade = None;
+        }
+        let rate = rate_for_load(load, &template, cfg.capacity.link_bits_per_slot);
+        let workload =
+            Workload::generate(ArrivalProcess::Poisson { rate }, template, 600, seed).expect("valid");
+        ServerSim::new(cfg).expect("valid").run(&workload).expect("runs")
+    }
+
+    #[test]
+    fn config_validation() {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let good = config(10, &template, AdmissionPolicy::AdmitAll);
+        assert!(ServerSim::new(good).is_ok());
+        let mut c = good;
+        c.miss_slots = 0;
+        assert!(ServerSim::new(c).is_err());
+        let mut c = good;
+        c.buffer_slots = c.miss_slots; // buffer must exceed allowance
+        assert!(ServerSim::new(c).is_err());
+        let mut c = good;
+        c.capacity.link_bits_per_slot = 0;
+        assert!(ServerSim::new(c).is_err());
+    }
+
+    #[test]
+    fn light_load_serves_everyone_at_full_quality() {
+        let r = run_at_load(0.5, AdmissionPolicy::QueuePredictor, true, 7);
+        assert!(r.admitted > 0);
+        assert_eq!(r.rejected, 0, "half-load must admit everyone");
+        assert_eq!(r.deadline_misses, 0);
+        assert!(r.mean_utility() > 0.99, "utility {}", r.mean_utility());
+        assert!(r.buffer_dropped_bits == 0);
+        assert!(r.measured_occupancy < 1.0);
+    }
+
+    #[test]
+    fn uncontrolled_overload_collapses() {
+        let r = run_at_load(1.5, AdmissionPolicy::AdmitAll, false, 7);
+        assert_eq!(r.rejected, 0);
+        assert!(
+            r.miss_rate() > 0.2,
+            "sustained 1.5x overload must miss deadlines, got {}",
+            r.miss_rate()
+        );
+        assert!(r.purged_bits > 0);
+    }
+
+    #[test]
+    fn controlled_overload_stays_bounded() {
+        let uncontrolled = run_at_load(1.5, AdmissionPolicy::AdmitAll, false, 7);
+        let controlled = run_at_load(1.5, AdmissionPolicy::QueuePredictor, true, 7);
+        assert!(controlled.rejected > 0, "overload must turn sessions away");
+        assert!(
+            controlled.miss_rate() < uncontrolled.miss_rate() / 5.0,
+            "controlled {} vs uncontrolled {}",
+            controlled.miss_rate(),
+            uncontrolled.miss_rate()
+        );
+        assert!(
+            controlled.mean_utility() > uncontrolled.mean_utility(),
+            "controlled {} vs uncontrolled {}",
+            controlled.mean_utility(),
+            uncontrolled.mean_utility()
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = run_at_load(1.2, AdmissionPolicy::QueuePredictor, true, 42);
+        let b = run_at_load(1.2, AdmissionPolicy::QueuePredictor, true, 42);
+        assert_eq!(a, b);
+        let c = run_at_load(1.2, AdmissionPolicy::QueuePredictor, true, 43);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn predictor_tracks_measured_occupancy_under_poisson() {
+        let r = run_at_load(0.8, AdmissionPolicy::QueuePredictor, true, 11);
+        // Both should be small and same order of magnitude; the
+        // prediction is of the *transmit queue*, the measurement of the
+        // playout backlog, so only coarse agreement is expected.
+        assert!(r.predicted_occupancy > 0.0);
+        assert!(r.predicted_occupancy < f64::from(r.slots as u32));
+        assert!(r.measured_occupancy < 8.0, "measured {}", r.measured_occupancy);
+    }
+
+    #[test]
+    fn empty_workload_reports_idle() {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let workload = Workload {
+            sessions: Vec::new(),
+            template,
+            slots: 50,
+        };
+        let cfg = config(10, &template, AdmissionPolicy::QueuePredictor);
+        let r = ServerSim::new(cfg).expect("valid").run(&workload).expect("runs");
+        assert_eq!(r.session_slots, 0);
+        assert_eq!(r.miss_rate(), 0.0);
+        assert_eq!(r.mean_utility(), 0.0);
+        assert_eq!(r.rejection_rate(), 0.0);
+        assert_eq!(r.delivered_bits, 0);
+    }
+}

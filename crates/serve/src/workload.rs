@@ -1,0 +1,443 @@
+//! Open-loop session workload generation.
+//!
+//! The server experiments (E12) drive the multiplexer with an *open
+//! loop*: sessions arrive whether or not the server is keeping up,
+//! exactly like user requests against a streaming service. Two arrival
+//! processes are provided, mirroring the §3.2 contrast the paper draws
+//! for on-chip traffic:
+//!
+//! * [`ArrivalProcess::Poisson`] — the Markovian baseline analytical
+//!   admission control is calibrated for;
+//! * [`ArrivalProcess::SelfSimilar`] — long-range-dependent session
+//!   arrivals driven by fractional Gaussian noise
+//!   ([`dms_analysis::FractionalGaussianNoise`]), the regime in which
+//!   uncontrolled servers collapse (§3.2: "drastically different from
+//!   those experienced with traditional short-range dependent models").
+//!
+//! Each arriving session is stamped from a [`SessionTemplate`] — an
+//! FGS-layered media profile built on [`dms_media::fgs`] — with an
+//! exponentially distributed holding time. All randomness flows through
+//! labelled [`SimRng`] sub-streams, so a workload is a pure function of
+//! `(process, template, slots, seed)`.
+
+use dms_analysis::{FractionalGaussianNoise, PoissonArrivals};
+use dms_media::fgs::{FgsEncoder, FgsFrame, BIT_PLANES};
+use dms_media::trace_gen::VideoTraceGenerator;
+use dms_sim::SimRng;
+use dms_wireless::dvfs::DvfsCpu;
+use dms_wireless::fgs::FgsStreamer;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+
+/// How new sessions arrive at the server, per scheduling slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate` sessions per slot.
+    Poisson {
+        /// Mean arrivals per slot.
+        rate: f64,
+    },
+    /// Long-range-dependent arrivals: an fGn count process with the
+    /// given Hurst parameter, mean `rate` and standard deviation
+    /// `burstiness * rate` sessions per slot.
+    SelfSimilar {
+        /// Mean arrivals per slot.
+        rate: f64,
+        /// Hurst parameter in `(0, 1)`; `> 0.5` is LRD.
+        hurst: f64,
+        /// Std-dev of per-slot arrivals as a multiple of `rate`.
+        burstiness: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Mean arrivals per slot.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::SelfSimilar { rate, .. } => rate,
+        }
+    }
+
+    /// Integer arrival counts for `slots` slots.
+    ///
+    /// The fGn series is real-valued; it is carried to integers with a
+    /// running-residual rounding so the long-run mean is preserved (a
+    /// plain `round()` would bias bursty slots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for a non-positive rate
+    /// or an out-of-range Hurst/burstiness.
+    pub fn counts(&self, slots: usize, rng: &mut SimRng) -> Result<Vec<u32>, ServeError> {
+        let real: Vec<f64> = match *self {
+            ArrivalProcess::Poisson { rate } => PoissonArrivals::new(rate)
+                .map_err(|_| ServeError::InvalidParameter("rate"))?
+                .generate(slots, rng),
+            ArrivalProcess::SelfSimilar {
+                rate,
+                hurst,
+                burstiness,
+            } => {
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(ServeError::InvalidParameter("rate"));
+                }
+                if !(burstiness.is_finite() && burstiness > 0.0) {
+                    return Err(ServeError::InvalidParameter("burstiness"));
+                }
+                FractionalGaussianNoise::new(hurst)
+                    .map_err(|_| ServeError::InvalidParameter("hurst"))?
+                    .generate_counts(slots, rate, burstiness * rate, rng)
+            }
+        };
+        let mut residual = 0.0;
+        Ok(real
+            .into_iter()
+            .map(|x| {
+                let want = x + residual;
+                let n = want.floor().max(0.0);
+                residual = want - n;
+                n as u32
+            })
+            .collect())
+    }
+}
+
+/// The media profile every session of a workload is stamped from: an
+/// FGS-layered stream (mandatory base layer plus [`BIT_PLANES`]
+/// truncatable enhancement planes) expressed as per-slot bit demands.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionTemplate {
+    /// Base-layer bits a session must receive every slot.
+    pub base_bits: u64,
+    /// Per-plane enhancement bits per slot (most significant first).
+    pub plane_bits: [u64; BIT_PLANES],
+    /// PSNR of the base layer alone, dB.
+    pub base_psnr_db: f64,
+    /// PSNR added by each complete plane, dB.
+    pub plane_psnr_db: [f64; BIT_PLANES],
+    /// Enhancement planes a client can actually decode (layers past
+    /// this are never requested).
+    pub max_layers: usize,
+    /// Mean session holding time, slots.
+    pub mean_duration_slots: f64,
+}
+
+impl SessionTemplate {
+    /// Builds the default streaming profile: a CIF MPEG-2 trace put
+    /// through the [`FgsEncoder`] streaming preset, averaged into a
+    /// per-slot demand, with the decodable-layer cap taken from the
+    /// [`FgsStreamer`] XScale client's full-speed decoding aptitude
+    /// (planes the client could never decode are not worth serving).
+    ///
+    /// # Errors
+    ///
+    /// Propagates preset-construction failures (never fails in
+    /// practice).
+    pub fn streaming_default() -> Result<Self, ServeError> {
+        let gen = VideoTraceGenerator::cif_mpeg2()
+            .map_err(|_| ServeError::InvalidParameter("trace preset"))?;
+        let enc =
+            FgsEncoder::streaming_default().map_err(|_| ServeError::InvalidParameter("encoder"))?;
+        // A fixed internal seed: the template is a *profile*, the same
+        // for every workload; per-session randomness lives elsewhere.
+        let frames = enc.encode(&gen, 256, &mut SimRng::new(0xE12));
+        let n = frames.len() as u64;
+        let mut base = 0u64;
+        let mut planes = [0u64; BIT_PLANES];
+        for f in &frames {
+            base += f.base_bits;
+            for (acc, b) in planes.iter_mut().zip(&f.plane_bits) {
+                *acc += b;
+            }
+        }
+        base /= n;
+        for p in &mut planes {
+            *p /= n;
+        }
+        let reference = &frames[0];
+        // Client ceiling: bits decodable in one slot at full speed.
+        let streamer =
+            FgsStreamer::xscale_client().map_err(|_| ServeError::InvalidParameter("client"))?;
+        let cpu = DvfsCpu::xscale().map_err(|_| ServeError::InvalidParameter("cpu"))?;
+        let aptitude = streamer.aptitude_bits(cpu.max_point().frequency_hz);
+        let mut decodable = base;
+        let mut max_layers = 0;
+        for &p in &planes {
+            if decodable + p > aptitude {
+                break;
+            }
+            decodable += p;
+            max_layers += 1;
+        }
+        Ok(SessionTemplate {
+            base_bits: base,
+            plane_bits: planes,
+            base_psnr_db: reference.base_psnr_db,
+            plane_psnr_db: reference.plane_psnr_db,
+            max_layers: max_layers.max(1),
+            mean_duration_slots: 200.0,
+        })
+    }
+
+    /// Validates the template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.base_bits == 0 {
+            return Err(ServeError::InvalidParameter("base_bits"));
+        }
+        if self.max_layers > BIT_PLANES {
+            return Err(ServeError::InvalidParameter("max_layers"));
+        }
+        if !(self.mean_duration_slots.is_finite() && self.mean_duration_slots >= 1.0) {
+            return Err(ServeError::InvalidParameter("mean_duration_slots"));
+        }
+        if !(self.base_psnr_db.is_finite() && self.base_psnr_db > 0.0) {
+            return Err(ServeError::InvalidParameter("base_psnr_db"));
+        }
+        Ok(())
+    }
+
+    /// Per-slot bit demand when `layers` enhancement planes are served
+    /// (capped by [`SessionTemplate::max_layers`]).
+    #[must_use]
+    pub fn demand_bits(&self, layers: usize) -> u64 {
+        let l = layers.min(self.max_layers);
+        self.base_bits + self.plane_bits[..l].iter().sum::<u64>()
+    }
+
+    /// Per-slot bit demand at full quality (every decodable layer).
+    #[must_use]
+    pub fn full_bits(&self) -> u64 {
+        self.demand_bits(self.max_layers)
+    }
+
+    /// The template as a reference [`FgsFrame`], for PSNR bookkeeping.
+    #[must_use]
+    pub fn reference_frame(&self) -> FgsFrame {
+        FgsFrame {
+            index: 0,
+            base_bits: self.base_bits,
+            plane_bits: self.plane_bits,
+            base_psnr_db: self.base_psnr_db,
+            plane_psnr_db: self.plane_psnr_db,
+        }
+    }
+
+    /// Normalised utility of receiving `bits` of one slot's demand:
+    /// delivered PSNR over the full-quality PSNR at `max_layers`, in
+    /// `[0, 1]`. Fine-granularity: partial planes count fractionally.
+    #[must_use]
+    pub fn utility(&self, bits: u64) -> f64 {
+        let frame = self.reference_frame();
+        let (_, psnr) = frame.truncate_to(bits.min(self.full_bits()));
+        let (_, best) = frame.truncate_to(self.full_bits());
+        (psnr / best).clamp(0.0, 1.0)
+    }
+}
+
+/// One session the workload offers to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionRequest {
+    /// Stable id (generation order).
+    pub id: u64,
+    /// Slot the session asks to start in.
+    pub arrival_slot: u64,
+    /// Holding time in slots (≥ 1).
+    pub duration_slots: u64,
+}
+
+/// A fully materialised open-loop workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Sessions in arrival order (ties broken by generation order —
+    /// the FIFO order the event queue preserves).
+    pub sessions: Vec<SessionRequest>,
+    /// The media profile each session streams.
+    pub template: SessionTemplate,
+    /// Horizon the workload was generated for, slots.
+    pub slots: u64,
+}
+
+impl Workload {
+    /// Generates a workload: arrival counts from `process`, one
+    /// exponential holding time per session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template validation and arrival-process parameter
+    /// errors.
+    pub fn generate(
+        process: ArrivalProcess,
+        template: SessionTemplate,
+        slots: u64,
+        seed: u64,
+    ) -> Result<Workload, ServeError> {
+        template.validate()?;
+        let master = SimRng::new(seed);
+        let counts = process.counts(slots as usize, &mut master.substream("serve-arrivals", 0))?;
+        let mut durations = master.substream("serve-durations", 0);
+        let mut sessions = Vec::new();
+        let mut id = 0u64;
+        for (slot, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                let d = durations
+                    .exponential(template.mean_duration_slots)
+                    .ceil()
+                    .max(1.0) as u64;
+                sessions.push(SessionRequest {
+                    id,
+                    arrival_slot: slot as u64,
+                    duration_slots: d,
+                });
+                id += 1;
+            }
+        }
+        Ok(Workload {
+            sessions,
+            template,
+            slots,
+        })
+    }
+
+    /// Offered load: mean full-quality demand of concurrently held
+    /// sessions over the link capacity (`λ · E[D] · full_bits / C`).
+    #[must_use]
+    pub fn offered_load(&self, rate_per_slot: f64, link_bits_per_slot: u64) -> f64 {
+        rate_per_slot * self.template.mean_duration_slots * self.template.full_bits() as f64
+            / link_bits_per_slot as f64
+    }
+}
+
+/// Arrival rate (sessions per slot) that offers `load` times the link
+/// capacity at full quality: `λ = load · C / (full_bits · E[D])`.
+#[must_use]
+pub fn rate_for_load(load: f64, template: &SessionTemplate, link_bits_per_slot: u64) -> f64 {
+    load * link_bits_per_slot as f64
+        / (template.full_bits() as f64 * template.mean_duration_slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> SessionTemplate {
+        SessionTemplate::streaming_default().expect("preset valid")
+    }
+
+    #[test]
+    fn template_is_sane() {
+        let t = template();
+        assert!(t.base_bits > 0);
+        assert!(t.max_layers >= 1 && t.max_layers <= BIT_PLANES);
+        assert!(t.full_bits() > t.base_bits);
+        assert_eq!(t.demand_bits(0), t.base_bits);
+        // Demand is monotone in layers and saturates at max_layers.
+        let mut last = 0;
+        for l in 0..=BIT_PLANES {
+            let d = t.demand_bits(l);
+            assert!(d >= last);
+            last = d;
+        }
+        assert_eq!(t.demand_bits(BIT_PLANES), t.full_bits());
+    }
+
+    #[test]
+    fn utility_is_monotone_and_normalised() {
+        let t = template();
+        assert!(t.utility(0) > 0.0, "base layer is mandatory: some quality");
+        assert!(t.utility(t.base_bits) < 1.0);
+        assert!((t.utility(t.full_bits()) - 1.0).abs() < 1e-12);
+        let mut last = 0.0;
+        for l in 0..=t.max_layers {
+            let u = t.utility(t.demand_bits(l));
+            assert!(u >= last, "utility must grow with layers");
+            last = u;
+        }
+    }
+
+    #[test]
+    fn poisson_counts_hit_target_rate() {
+        let p = ArrivalProcess::Poisson { rate: 2.5 };
+        let counts = p
+            .counts(20_000, &mut SimRng::new(5))
+            .expect("valid process");
+        let mean = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / counts.len() as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn selfsimilar_counts_hit_target_rate_and_are_burstier() {
+        let rate = 2.5;
+        let ss = ArrivalProcess::SelfSimilar {
+            rate,
+            hurst: 0.85,
+            burstiness: 1.0,
+        };
+        let counts = ss
+            .counts(20_000, &mut SimRng::new(5))
+            .expect("valid process");
+        let mean = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / counts.len() as f64;
+        assert!((mean - rate).abs() < 0.2, "mean {mean}");
+        let var = counts
+            .iter()
+            .map(|&c| (f64::from(c) - mean).powi(2))
+            .sum::<f64>()
+            / counts.len() as f64;
+        // Poisson would have var ≈ mean; the fGn process is distinctly
+        // burstier even after zero-clipping eats part of the spread.
+        assert!(var > 1.5 * mean, "variance {var} vs mean {mean}");
+    }
+
+    #[test]
+    fn arrival_process_rejects_bad_parameters() {
+        let mut rng = SimRng::new(1);
+        assert!(ArrivalProcess::Poisson { rate: 0.0 }.counts(10, &mut rng).is_err());
+        assert!(ArrivalProcess::SelfSimilar {
+            rate: 1.0,
+            hurst: 1.5,
+            burstiness: 1.0
+        }
+        .counts(10, &mut rng)
+        .is_err());
+        assert!(ArrivalProcess::SelfSimilar {
+            rate: 1.0,
+            hurst: 0.8,
+            burstiness: 0.0
+        }
+        .counts(10, &mut rng)
+        .is_err());
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_ordered() {
+        let t = template();
+        let p = ArrivalProcess::Poisson { rate: 1.0 };
+        let a = Workload::generate(p, t, 500, 42).expect("valid");
+        let b = Workload::generate(p, t, 500, 42).expect("valid");
+        assert_eq!(a, b);
+        assert!(!a.sessions.is_empty());
+        for w in a.sessions.windows(2) {
+            assert!(w[0].arrival_slot <= w[1].arrival_slot);
+            assert!(w[0].id < w[1].id);
+        }
+        assert!(a.sessions.iter().all(|s| s.duration_slots >= 1));
+        let c = Workload::generate(p, t, 500, 43).expect("valid");
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn rate_for_load_round_trips() {
+        let t = template();
+        let capacity = 50 * t.full_bits();
+        let rate = rate_for_load(1.2, &t, capacity);
+        let w = Workload::generate(ArrivalProcess::Poisson { rate }, t, 100, 1).expect("valid");
+        let load = w.offered_load(rate, capacity);
+        assert!((load - 1.2).abs() < 1e-9, "load {load}");
+    }
+}

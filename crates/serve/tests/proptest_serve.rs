@@ -1,0 +1,107 @@
+//! Property-based tests for the streaming server's safety invariants.
+
+use dms_serve::{
+    rate_for_load, AdmissionController, AdmissionPolicy, ArrivalProcess, CapacityModel,
+    DegradeConfig, ServerConfig, ServerSim, SessionTemplate, Workload,
+};
+use proptest::prelude::*;
+
+/// Strategy: a valid capacity model with a bound strictly inside the
+/// system size.
+fn capacity_model() -> impl Strategy<Value = CapacityModel> {
+    (1_000u64..1_000_000, 8u32..128, 0.05f64..0.9).prop_map(|(link, k, frac)| CapacityModel {
+        link_bits_per_slot: link,
+        queue_frames: k,
+        occupancy_bound: frac * f64::from(k),
+    })
+}
+
+proptest! {
+    /// Safety: after any sequence of admissions, the predicted
+    /// occupancy of the admitted set never exceeds the configured
+    /// bound — the controller cannot be talked past its own model.
+    #[test]
+    fn admitted_set_never_exceeds_predicted_bound(
+        model in capacity_model(),
+        frame_bits in 100u64..50_000,
+        demands in proptest::collection::vec(1u64..200_000, 1..64),
+    ) {
+        let mut ctl = AdmissionController::new(model, AdmissionPolicy::QueuePredictor, frame_bits)
+            .expect("valid model");
+        let mut admitted_bits = 0u64;
+        for d in demands {
+            if ctl.decide(admitted_bits, d) {
+                admitted_bits += d;
+                let occ = ctl.predicted_occupancy(admitted_bits);
+                prop_assert!(
+                    occ <= model.occupancy_bound + 1e-9,
+                    "admitted set predicts occupancy {occ} > bound {}",
+                    model.occupancy_bound
+                );
+            }
+        }
+    }
+
+    /// Monotonicity: if a candidate is rejected on top of some active
+    /// demand, it is also rejected on top of any larger demand (and
+    /// dually, an admit at high load implies an admit at low load).
+    #[test]
+    fn rejection_is_monotone_in_offered_load(
+        model in capacity_model(),
+        frame_bits in 100u64..50_000,
+        lo in 0u64..2_000_000,
+        extra in 0u64..2_000_000,
+        candidate in 1u64..100_000,
+    ) {
+        let mut ctl = AdmissionController::new(model, AdmissionPolicy::QueuePredictor, frame_bits)
+            .expect("valid model");
+        let hi = lo + extra;
+        let admit_lo = ctl.decide(lo, candidate);
+        let admit_hi = ctl.decide(hi, candidate);
+        prop_assert!(
+            admit_lo || !admit_hi,
+            "rejected at active demand {lo} but admitted at {hi}"
+        );
+        // The underlying predictor is monotone too.
+        prop_assert!(
+            ctl.predicted_occupancy(lo + candidate) <= ctl.predicted_occupancy(hi + candidate) + 1e-9
+        );
+    }
+
+    /// End to end: a controlled server run admits only while its own
+    /// predictor stays under the bound, whatever the load and seed.
+    #[test]
+    fn server_runs_respect_the_admission_bound(
+        load in 0.2f64..2.0,
+        seed in 0u64..1_000,
+    ) {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let capacity = CapacityModel {
+            link_bits_per_slot: 10 * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        };
+        let rate = rate_for_load(load, &template, capacity.link_bits_per_slot);
+        let workload = Workload::generate(ArrivalProcess::Poisson { rate }, template, 120, seed)
+            .expect("valid workload");
+        let server = ServerSim::new(ServerConfig {
+            capacity,
+            policy: AdmissionPolicy::QueuePredictor,
+            degrade: Some(DegradeConfig::default()),
+            buffer_slots: 4,
+            miss_slots: 2,
+        })
+        .expect("valid config");
+        let report = server.run(&workload).expect("runs");
+        prop_assert_eq!(report.admitted + report.rejected, report.offered);
+        // Every admitted state satisfied the bound at admission time and
+        // departures only lower the demand, so the slot-mean prediction
+        // must sit under the bound too.
+        prop_assert!(
+            report.predicted_occupancy <= capacity.occupancy_bound + 1e-9,
+            "mean predicted occupancy {} exceeds bound {}",
+            report.predicted_occupancy,
+            capacity.occupancy_bound
+        );
+    }
+}

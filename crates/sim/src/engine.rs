@@ -118,6 +118,21 @@ impl<E> EventQueue<E> {
         Some(std::collections::binary_heap::PeekMut::pop(top))
     }
 
+    /// Returns a draining iterator over every event due at or before
+    /// `horizon`, in `(time, insertion-order)` order.
+    ///
+    /// Equal-time events come out in exactly the order they were
+    /// scheduled — the FIFO contract slotted multiplexers (one
+    /// `drain_ready` per slot boundary) rely on for determinism.
+    /// Events after `horizon` are left untouched; dropping the iterator
+    /// early leaves the remaining due events in the queue.
+    pub fn drain_ready(&mut self, horizon: SimTime) -> DrainReady<'_, E> {
+        DrainReady {
+            queue: self,
+            horizon,
+        }
+    }
+
     /// Returns the time of the earliest pending event without removing it.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
@@ -139,6 +154,22 @@ impl<E> EventQueue<E> {
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+}
+
+/// Draining iterator returned by [`EventQueue::drain_ready`]: yields
+/// events due at or before the horizon, earliest `(time, seq)` first.
+#[derive(Debug)]
+pub struct DrainReady<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    horizon: SimTime,
+}
+
+impl<E> Iterator for DrainReady<'_, E> {
+    type Item = ScheduledEvent<E>;
+
+    fn next(&mut self) -> Option<ScheduledEvent<E>> {
+        self.queue.pop_at_or_before(self.horizon)
     }
 }
 
@@ -409,6 +440,56 @@ mod tests {
         assert_eq!(ev.payload, "early");
         assert!(q.pop_at_or_before(SimTime::from_ticks(2)).is_none());
         assert_eq!(q.peek_time(), Some(SimTime::from_ticks(3)));
+    }
+
+    /// Pins the ordering contract `drain_ready` gives the session
+    /// multiplexer in `dms-serve`: events *at* the horizon drain in
+    /// scheduling (FIFO) order, interleaved correctly with earlier
+    /// events, and nothing past the horizon moves.
+    #[test]
+    fn drain_ready_pins_fifo_order_at_horizon_boundary() {
+        let mut q = EventQueue::new();
+        // Three events exactly at the horizon, scheduled out of order
+        // with respect to an earlier and a later event.
+        q.schedule(SimTime::from_ticks(10), "at-a");
+        q.schedule(SimTime::from_ticks(11), "late");
+        q.schedule(SimTime::from_ticks(10), "at-b");
+        q.schedule(SimTime::from_ticks(9), "early");
+        q.schedule(SimTime::from_ticks(10), "at-c");
+        let drained: Vec<&str> = q
+            .drain_ready(SimTime::from_ticks(10))
+            .map(|ev| ev.payload)
+            .collect();
+        // Earlier event first, then the horizon events in the exact
+        // order they were scheduled — not heap order.
+        assert_eq!(drained, vec!["early", "at-a", "at-b", "at-c"]);
+        // The post-horizon event is untouched.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(11)));
+        // A fresh drain at a later horizon picks it up.
+        let rest: Vec<&str> = q.drain_ready(SimTime::MAX).map(|ev| ev.payload).collect();
+        assert_eq!(rest, vec!["late"]);
+        assert!(q.is_empty());
+    }
+
+    /// Dropping the iterator mid-drain must leave the queue coherent:
+    /// the remaining due events keep their FIFO order.
+    #[test]
+    fn drain_ready_partial_drain_preserves_remainder() {
+        let mut q = EventQueue::new();
+        for i in 0..6u32 {
+            q.schedule(SimTime::from_ticks(4), i);
+        }
+        {
+            let mut it = q.drain_ready(SimTime::from_ticks(4));
+            assert_eq!(it.next().expect("due").payload, 0);
+            assert_eq!(it.next().expect("due").payload, 1);
+        }
+        let rest: Vec<u32> = q
+            .drain_ready(SimTime::from_ticks(4))
+            .map(|ev| ev.payload)
+            .collect();
+        assert_eq!(rest, vec![2, 3, 4, 5]);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, EventQueue, Model, ScheduledEvent};
+pub use engine::{DrainReady, Engine, EventQueue, Model, ScheduledEvent};
 pub use par::ParRunner;
 pub use rng::SimRng;
 pub use stats::{Autocorrelation, ConfidenceInterval, Histogram, OnlineStats, TimeWeighted};

@@ -25,7 +25,10 @@
 //! * [`manet`] — ad hoc networks with energy-aware routing and
 //!   network-lifetime evaluation;
 //! * [`ambient`] — stochastic user behaviour and smart-space
-//!   availability under sensor failures.
+//!   availability under sensor failures;
+//! * [`serve`] — multi-session streaming server: open-loop workloads,
+//!   analytical admission control, fair multiplexing and FGS-layer QoS
+//!   degradation.
 //!
 //! ## Quickstart
 //!
@@ -66,5 +69,6 @@ pub use dms_core as core;
 pub use dms_manet as manet;
 pub use dms_media as media;
 pub use dms_noc as noc;
+pub use dms_serve as serve;
 pub use dms_sim as sim;
 pub use dms_wireless as wireless;
