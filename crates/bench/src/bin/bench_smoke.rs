@@ -9,15 +9,24 @@
 //! * the full `all_experiments()` suite, parallel (all cores) vs
 //!   `DMS_THREADS=1`, and the resulting speed-up;
 //! * 2¹⁶-sample fGn generation, circulant embedding vs the Hosking
-//!   oracle, and the resulting speed-up.
+//!   oracle, and the resulting speed-up;
+//! * the E12 server with no metrics sink vs an attached sink (the
+//!   `None` path is the hot loop and must show no measurable
+//!   slowdown);
+//! * a `metrics` snapshot: every timing above re-recorded through the
+//!   `dms_sim::MetricsRegistry`, which is also how the structured
+//!   fields of this file are rendered (`JsonValue`, not hand-glued
+//!   strings).
 //!
-//! Everything is seeded, so the numbers measure time, not variance.
+//! Everything is seeded, so the numbers measure time, not variance
+//! (the timings themselves vary run to run, of course).
 
 use std::time::Instant;
 
 use dms_analysis::FractionalGaussianNoise;
 use dms_bench::{all_experiments, Experiment};
-use dms_sim::SimRng;
+use dms_serve::ServeMetricsSink;
+use dms_sim::{JsonValue, MetricsRegistry, SimRng};
 
 fn seconds_of(f: impl FnOnce()) -> f64 {
     let start = Instant::now();
@@ -116,31 +125,125 @@ fn main() {
         e12_points_timed.push((point.label(), secs));
     }
 
-    // Hand-rendered JSON: the workspace is offline and vendors no JSON
-    // crate, and the schema is flat enough that formatting is trivial.
-    let mut json = String::from("{\n  \"experiments\": [\n");
-    for (i, (id, secs)) in per_experiment.iter().enumerate() {
-        let comma = if i + 1 == per_experiment.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{ \"id\": \"{id}\", \"seconds\": {secs:.6} }}{comma}\n"
+    // Sink overhead: the heaviest sweep point with no sink (the hot
+    // path every experiment takes) vs with a per-slot sink attached.
+    // The `None` column is the one that must not regress.
+    let overhead_point = dms_bench::e12_points()
+        .into_iter()
+        .find(|p| p.label() == "selfsim-1.5x-uncontrolled")
+        .expect("point is on the grid");
+    let none_sink = seconds_of(|| {
+        std::hint::black_box(dms_bench::e12_run_point(overhead_point));
+    });
+    let with_sink = seconds_of(|| {
+        let mut sink = ServeMetricsSink::new();
+        std::hint::black_box(dms_bench::e12_run_point_instrumented(
+            overhead_point,
+            Some(&mut sink),
         ));
+    });
+    println!(
+        "\nE12 sink overhead ({}): none {:.3} s, recording {:.3} s",
+        overhead_point.label(),
+        none_sink,
+        with_sink
+    );
+
+    // Registry snapshot: the same numbers, recorded through the
+    // metrics layer the simulators feed their run-logs from.
+    let mut registry = MetricsRegistry::new();
+    for (id, secs) in &per_experiment {
+        registry.gauge_set(&format!("experiment/{id}/seconds"), *secs);
     }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"suite\": {{ \"sequential_seconds\": {sequential:.6}, \"parallel_seconds\": {parallel:.6}, \"speedup\": {suite_speedup:.3}, \"threads\": {threads} }},\n"
-    ));
-    json.push_str(&format!(
-        "  \"fgn_65536\": {{ \"circulant_seconds\": {circulant:.6}, \"hosking_cold_seconds\": {hosking_cold:.6}, \"hosking_warm_seconds\": {hosking_warm:.6}, \"speedup\": {fgn_speedup:.3} }},\n"
-    ));
-    json.push_str("  \"e12_load_points\": [\n");
-    for (i, (label, secs)) in e12_points_timed.iter().enumerate() {
-        let comma = if i + 1 == e12_points_timed.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{ \"point\": \"{label}\", \"seconds\": {secs:.6} }}{comma}\n"
-        ));
+    {
+        let mut s = registry.scoped("suite");
+        s.gauge_set("sequential_seconds", sequential);
+        s.gauge_set("parallel_seconds", parallel);
+        s.gauge_set("speedup", suite_speedup);
+        s.gauge_set("threads", threads as f64);
     }
-    json.push_str("  ]\n");
-    json.push_str("}\n");
-    std::fs::write("BENCH_experiments.json", json).expect("write BENCH_experiments.json");
+    {
+        let mut s = registry.scoped("fgn_65536");
+        s.gauge_set("circulant_seconds", circulant);
+        s.gauge_set("hosking_cold_seconds", hosking_cold);
+        s.gauge_set("hosking_warm_seconds", hosking_warm);
+        s.gauge_set("speedup", fgn_speedup);
+    }
+    for (label, secs) in &e12_points_timed {
+        registry.gauge_set(&format!("e12/{label}/seconds"), *secs);
+    }
+    {
+        let mut s = registry.scoped("e12_sink_overhead");
+        s.gauge_set("none_seconds", none_sink);
+        s.gauge_set("recording_seconds", with_sink);
+    }
+
+    // The workspace is offline and vendors no JSON crate; the file is
+    // rendered through the deterministic `JsonValue` tree instead.
+    let json = JsonValue::Object(vec![
+        (
+            "experiments".to_string(),
+            JsonValue::Array(
+                per_experiment
+                    .iter()
+                    .map(|(id, secs)| {
+                        JsonValue::Object(vec![
+                            ("id".to_string(), JsonValue::from(id.as_str())),
+                            ("seconds".to_string(), JsonValue::Float(*secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "suite".to_string(),
+            JsonValue::Object(vec![
+                ("sequential_seconds".to_string(), JsonValue::Float(sequential)),
+                ("parallel_seconds".to_string(), JsonValue::Float(parallel)),
+                ("speedup".to_string(), JsonValue::Float(suite_speedup)),
+                ("threads".to_string(), JsonValue::from(threads)),
+            ]),
+        ),
+        (
+            "fgn_65536".to_string(),
+            JsonValue::Object(vec![
+                ("circulant_seconds".to_string(), JsonValue::Float(circulant)),
+                (
+                    "hosking_cold_seconds".to_string(),
+                    JsonValue::Float(hosking_cold),
+                ),
+                (
+                    "hosking_warm_seconds".to_string(),
+                    JsonValue::Float(hosking_warm),
+                ),
+                ("speedup".to_string(), JsonValue::Float(fgn_speedup)),
+            ]),
+        ),
+        (
+            "e12_load_points".to_string(),
+            JsonValue::Array(
+                e12_points_timed
+                    .iter()
+                    .map(|(label, secs)| {
+                        JsonValue::Object(vec![
+                            ("point".to_string(), JsonValue::from(label.as_str())),
+                            ("seconds".to_string(), JsonValue::Float(*secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "e12_sink_overhead".to_string(),
+            JsonValue::Object(vec![
+                ("none_seconds".to_string(), JsonValue::Float(none_sink)),
+                ("recording_seconds".to_string(), JsonValue::Float(with_sink)),
+            ]),
+        ),
+        ("metrics".to_string(), registry.to_json()),
+    ]);
+    let mut rendered = json.render();
+    rendered.push('\n');
+    std::fs::write("BENCH_experiments.json", rendered).expect("write BENCH_experiments.json");
     println!("\nwrote BENCH_experiments.json");
 }

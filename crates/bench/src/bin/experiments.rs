@@ -6,10 +6,34 @@
 //! `E12` to print only that experiment — CI uses this to diff a single
 //! experiment between `DMS_THREADS=1` and parallel runs.
 //!
+//! `--metrics-dir <dir>` additionally writes one JSON run-log per
+//! printed experiment to `<dir>/<id>.json` — rows as typed records,
+//! plus (for E12) the full instrumented sweep metrics. The run-logs
+//! are deterministic and byte-identical at any `DMS_THREADS`, which CI
+//! enforces with a directory diff.
+//!
 //! The output of this binary is the source of `EXPERIMENTS.md`.
 
+use std::path::PathBuf;
+
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Vec<String> = Vec::new();
+    let mut metrics_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-dir" {
+            let dir = args.next().unwrap_or_else(|| {
+                eprintln!("--metrics-dir needs a directory argument");
+                std::process::exit(2);
+            });
+            metrics_dir = Some(PathBuf::from(dir));
+        } else {
+            filter.push(arg);
+        }
+    }
+    if let Some(dir) = &metrics_dir {
+        std::fs::create_dir_all(dir).expect("create metrics dir");
+    }
     println!("# dms experiment reproductions (seeded, deterministic)\n");
     for exp in dms_bench::all_experiments() {
         if !filter.is_empty() && !filter.iter().any(|f| f.eq_ignore_ascii_case(exp.id)) {
@@ -22,5 +46,10 @@ fn main() {
             println!("| {} | {} | {} |", row.metric, row.paper, row.measured);
         }
         println!();
+        if let Some(dir) = &metrics_dir {
+            let log = dms_bench::run_log_for(&exp);
+            let path = dir.join(format!("{}.json", exp.id));
+            std::fs::write(&path, log.to_json_string()).expect("write run-log");
+        }
     }
 }

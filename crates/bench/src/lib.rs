@@ -27,10 +27,10 @@ use dms_noc::sim::{NocConfig, NocSim};
 use dms_noc::topology::{Mesh2d, TileId};
 use dms_noc::traffic::InjectionProcess;
 use dms_serve::{
-    rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig, ServerConfig,
-    ServerReport, ServerSim, SessionTemplate, Workload,
+    rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig, ServeMetricsSink,
+    ServerConfig, ServerReport, ServerSim, SessionTemplate, Workload,
 };
-use dms_sim::{ParRunner, SimRng};
+use dms_sim::{MetricsRegistry, ParRunner, RunLog, RunRecord, SimRng};
 use dms_wireless::channel::FadingChannel;
 use dms_wireless::fgs::{FgsStreamer, StreamingPolicy};
 use dms_wireless::jscc::JsccOptimizer;
@@ -690,6 +690,16 @@ pub fn e12_points() -> Vec<E12Point> {
 /// their comparison is paired, not statistical.
 #[must_use]
 pub fn e12_run_point(point: E12Point) -> ServerReport {
+    e12_run_point_instrumented(point, None)
+}
+
+/// [`e12_run_point`] with an optional per-slot metrics sink attached
+/// to the server run.
+#[must_use]
+pub fn e12_run_point_instrumented(
+    point: E12Point,
+    sink: Option<&mut ServeMetricsSink>,
+) -> ServerReport {
     let mut template = SessionTemplate::streaming_default().expect("preset valid");
     template.mean_duration_slots = E12_DURATION_SLOTS;
     let capacity = CapacityModel {
@@ -722,7 +732,84 @@ pub fn e12_run_point(point: E12Point) -> ServerReport {
         miss_slots: 2,
     })
     .expect("valid config");
-    server.run(&workload).expect("valid template")
+    server
+        .run_instrumented(&workload, sink)
+        .expect("valid template")
+}
+
+/// Builds the full E12 run-log: every sweep point instrumented, a
+/// summary record and per-point summary metrics for all 30 points, and
+/// complete per-slot series for the 1.2× overload points (the ones the
+/// headline claims are about — exporting all 30 would make the log
+/// 5× larger for numbers nothing reads).
+///
+/// Points shard across [`ParRunner`] with per-shard registries merged
+/// in job order, so the log is byte-identical at any `DMS_THREADS`.
+#[must_use]
+pub fn e12_run_log() -> RunLog {
+    let points = e12_points();
+    let results = ParRunner::new().map(&points, |&point| {
+        let mut sink = ServeMetricsSink::with_capacity(E12_SLOTS as usize);
+        let report = e12_run_point_instrumented(point, Some(&mut sink));
+        let mut registry = MetricsRegistry::new();
+        let scope = format!("e12/{}", point.label());
+        {
+            let mut s = registry.scoped(&scope);
+            s.counter_add("offered", report.offered);
+            s.counter_add("admitted", report.admitted);
+            s.counter_add("rejected", report.rejected);
+            s.counter_add("deadline_misses", report.deadline_misses);
+            s.counter_add("delivered_bits", report.delivered_bits);
+            s.counter_add("enqueued_bits", sink.enqueued_bits());
+            s.gauge_set("miss_rate", report.miss_rate());
+            s.gauge_set("mean_utility", report.mean_utility());
+            s.gauge_set("mean_layers", report.mean_layers);
+        }
+        if (point.load - 1.2).abs() < 1e-9 {
+            sink.export(&mut registry, &format!("{scope}/series"));
+        }
+        (report, registry)
+    });
+    let mut log = RunLog::new();
+    log.set_meta("experiment", "E12");
+    log.set_meta("slots", E12_SLOTS.to_string());
+    log.set_meta("capacity_sessions", E12_SESSIONS.to_string());
+    for (point, (report, registry)) in points.iter().zip(&results) {
+        log.registry_mut().merge(registry);
+        log.push(
+            RunRecord::new("e12-point")
+                .with("label", point.label())
+                .with("load", point.load)
+                .with("self_similar", point.self_similar)
+                .with("miss_rate", report.miss_rate())
+                .with("mean_utility", report.mean_utility())
+                .with("rejection_rate", report.rejection_rate()),
+        );
+    }
+    log
+}
+
+/// Builds the run-log for one experiment: its paper-vs-measured rows
+/// as typed records, plus (for E12) the instrumented sweep metrics
+/// from [`e12_run_log`].
+#[must_use]
+pub fn run_log_for(exp: &Experiment) -> RunLog {
+    let mut log = if exp.id == "E12" {
+        e12_run_log()
+    } else {
+        RunLog::new()
+    };
+    log.set_meta("experiment", exp.id);
+    log.set_meta("title", exp.title);
+    for row in &exp.rows {
+        log.push(
+            RunRecord::new("row")
+                .with("metric", row.metric.as_str())
+                .with("paper", row.paper.as_str())
+                .with("measured", row.measured.as_str()),
+        );
+    }
+    log
 }
 
 /// E12 — the multi-session streaming server under offered-load sweep:
@@ -1037,6 +1124,30 @@ mod tests {
                 assert!(!row.measured.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn run_logs_carry_rows_and_meta() {
+        let exp = x4_arq_packet_size();
+        let log = run_log_for(&exp);
+        assert_eq!(log.meta("experiment"), Some(exp.id));
+        assert_eq!(log.meta("title"), Some(exp.title));
+        assert_eq!(log.records().len(), exp.rows.len());
+        let json = log.to_json_string();
+        for row in &exp.rows {
+            assert!(
+                log.records()
+                    .iter()
+                    .any(|r| r.fields().iter().any(|(k, v)| k == "metric"
+                        && *v == dms_sim::JsonValue::from(row.metric.as_str()))),
+                "row {} missing from run-log",
+                row.metric
+            );
+        }
+        assert!(json.contains("\"records\""));
+        // Building the same log twice yields identical bytes — the
+        // property the CI `DMS_THREADS` diff leans on.
+        assert_eq!(json, run_log_for(&exp).to_json_string());
     }
 
     /// Guards the EXPERIMENTS.md headline numbers: if a model change

@@ -60,11 +60,13 @@
 pub mod admission;
 pub mod degrade;
 pub mod error;
+pub mod metrics;
 pub mod session;
 pub mod workload;
 
 pub use admission::{AdmissionController, AdmissionPolicy, CapacityModel};
 pub use degrade::{DegradeConfig, LayerController};
 pub use error::ServeError;
+pub use metrics::ServeMetricsSink;
 pub use session::{ServerConfig, ServerReport, ServerSim};
 pub use workload::{rate_for_load, ArrivalProcess, SessionRequest, SessionTemplate, Workload};

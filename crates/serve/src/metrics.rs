@@ -1,0 +1,153 @@
+//! Per-slot instrumentation for [`crate::ServerSim`] runs.
+//!
+//! [`ServeMetricsSink`] is the optional recording side-car of
+//! [`crate::ServerSim::run_instrumented`]: when attached it captures
+//! one sample per slot of the signals the paper's control argument
+//! turns on — admissions, active sessions, playout backlog, the FGS
+//! layer cap and deadline misses — plus a running total of bits
+//! enqueued into playout buffers (the conservation denominator the
+//! property tests check). When no sink is attached the server loop pays
+//! one `Option` check per slot and allocates nothing.
+//!
+//! [`ServeMetricsSink::export`] publishes the captured series into a
+//! [`dms_sim::MetricsRegistry`] under a caller-chosen scope, from where
+//! they flow into a [`dms_sim::RunLog`].
+
+use dms_sim::MetricsRegistry;
+
+/// Per-slot series recorded from one server run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeMetricsSink {
+    admitted: Vec<u64>,
+    active: Vec<u64>,
+    backlog_bits: Vec<u64>,
+    layer_cap: Vec<u64>,
+    deadline_misses: Vec<u64>,
+    enqueued_bits: u64,
+}
+
+impl ServeMetricsSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeMetricsSink::default()
+    }
+
+    /// Creates a sink with capacity for `slots` samples per series.
+    #[must_use]
+    pub fn with_capacity(slots: usize) -> Self {
+        ServeMetricsSink {
+            admitted: Vec::with_capacity(slots),
+            active: Vec::with_capacity(slots),
+            backlog_bits: Vec::with_capacity(slots),
+            layer_cap: Vec::with_capacity(slots),
+            deadline_misses: Vec::with_capacity(slots),
+            enqueued_bits: 0,
+        }
+    }
+
+    /// Appends one slot's sample to every series.
+    pub fn record_slot(
+        &mut self,
+        admitted: u64,
+        active: u64,
+        backlog_bits: u64,
+        layer_cap: u64,
+        deadline_misses: u64,
+        enqueued_bits: u64,
+    ) {
+        self.admitted.push(admitted);
+        self.active.push(active);
+        self.backlog_bits.push(backlog_bits);
+        self.layer_cap.push(layer_cap);
+        self.deadline_misses.push(deadline_misses);
+        self.enqueued_bits += enqueued_bits;
+    }
+
+    /// Slots recorded so far.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Sessions admitted per slot.
+    #[must_use]
+    pub fn admitted(&self) -> &[u64] {
+        &self.admitted
+    }
+
+    /// Active sessions at each slot.
+    #[must_use]
+    pub fn active(&self) -> &[u64] {
+        &self.active
+    }
+
+    /// Total playout backlog (bits) at the end of each slot.
+    #[must_use]
+    pub fn backlog_bits(&self) -> &[u64] {
+        &self.backlog_bits
+    }
+
+    /// FGS layer cap served in each slot.
+    #[must_use]
+    pub fn layer_cap(&self) -> &[u64] {
+        &self.layer_cap
+    }
+
+    /// Deadline misses charged in each slot.
+    #[must_use]
+    pub fn deadline_misses(&self) -> &[u64] {
+        &self.deadline_misses
+    }
+
+    /// Total bits enqueued into playout buffers before capping — the
+    /// denominator of the `delivered + dropped + purged ≤ enqueued`
+    /// conservation invariant.
+    #[must_use]
+    pub fn enqueued_bits(&self) -> u64 {
+        self.enqueued_bits
+    }
+
+    /// Publishes the captured series into `registry` under `scope`
+    /// (series `scope/admitted`, `scope/active`, `scope/backlog_bits`,
+    /// `scope/layer_cap`, `scope/deadline_misses` and counter
+    /// `scope/enqueued_bits`).
+    pub fn export(&self, registry: &mut MetricsRegistry, scope: &str) {
+        let mut scoped = registry.scoped(scope);
+        scoped.series_extend("admitted", self.admitted.iter().map(|&v| v as f64));
+        scoped.series_extend("active", self.active.iter().map(|&v| v as f64));
+        scoped.series_extend("backlog_bits", self.backlog_bits.iter().map(|&v| v as f64));
+        scoped.series_extend("layer_cap", self.layer_cap.iter().map(|&v| v as f64));
+        scoped.series_extend(
+            "deadline_misses",
+            self.deadline_misses.iter().map(|&v| v as f64),
+        );
+        scoped.counter_add("enqueued_bits", self.enqueued_bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_records_and_exports() {
+        let mut sink = ServeMetricsSink::with_capacity(2);
+        sink.record_slot(1, 3, 4096, 2, 0, 8192);
+        sink.record_slot(0, 2, 2048, 3, 1, 6144);
+        assert_eq!(sink.slots(), 2);
+        assert_eq!(sink.admitted(), &[1, 0]);
+        assert_eq!(sink.active(), &[3, 2]);
+        assert_eq!(sink.backlog_bits(), &[4096, 2048]);
+        assert_eq!(sink.layer_cap(), &[2, 3]);
+        assert_eq!(sink.deadline_misses(), &[0, 1]);
+        assert_eq!(sink.enqueued_bits(), 14_336);
+
+        let mut registry = MetricsRegistry::new();
+        sink.export(&mut registry, "server");
+        assert_eq!(registry.series("server/active"), &[3.0, 2.0]);
+        assert_eq!(registry.series("server/backlog_bits"), &[4096.0, 2048.0]);
+        assert_eq!(registry.counter("server/enqueued_bits"), 14_336);
+        assert_eq!(registry.len(), 6);
+    }
+}

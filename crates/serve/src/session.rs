@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use crate::admission::{AdmissionController, AdmissionPolicy, CapacityModel};
 use crate::degrade::{DegradeConfig, LayerController};
 use crate::error::ServeError;
+use crate::metrics::ServeMetricsSink;
 use crate::workload::Workload;
 
 /// Full configuration of one server run.
@@ -62,6 +63,32 @@ impl ServerConfig {
             return Err(ServeError::InvalidParameter("buffer_slots"));
         }
         Ok(())
+    }
+
+    /// Validates the configuration against a concrete per-slot demand
+    /// and returns the `(buffer, miss)` bit thresholds.
+    ///
+    /// The thresholds are `buffer_slots * full_bits` and
+    /// `miss_slots * full_bits`; both products are `checked_mul`s, so a
+    /// large-but-individually-valid config fails loudly instead of
+    /// silently wrapping in release builds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServerConfig::validate`]; returns
+    /// [`ServeError::InvalidParameter`] naming the slot count whose
+    /// threshold overflows `u64`.
+    pub fn validate_for(&self, full_bits: u64) -> Result<(u64, u64), ServeError> {
+        self.validate()?;
+        let buffer_bits = self
+            .buffer_slots
+            .checked_mul(full_bits)
+            .ok_or(ServeError::InvalidParameter("buffer_slots"))?;
+        let miss_bits = self
+            .miss_slots
+            .checked_mul(full_bits)
+            .ok_or(ServeError::InvalidParameter("miss_slots"))?;
+        Ok((buffer_bits, miss_bits))
     }
 }
 
@@ -173,14 +200,34 @@ impl ServerSim {
     ///
     /// # Errors
     ///
-    /// Propagates template validation errors.
+    /// Propagates template validation errors; fails if the config's
+    /// buffer/deadline thresholds overflow at this template's demand
+    /// ([`ServerConfig::validate_for`]).
     pub fn run(&self, workload: &Workload) -> Result<ServerReport, ServeError> {
+        self.run_instrumented(workload, None)
+    }
+
+    /// [`ServerSim::run`] with an optional per-slot metrics sink.
+    ///
+    /// With `Some(sink)`, one sample per slot of admissions / active
+    /// sessions / end-of-slot backlog / layer cap / deadline misses is
+    /// recorded, plus the total bits enqueued into playout buffers.
+    /// With `None` the loop does no recording work beyond a single
+    /// `Option` check per slot — no allocation, no extra branching.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServerSim::run`].
+    pub fn run_instrumented(
+        &self,
+        workload: &Workload,
+        mut sink: Option<&mut ServeMetricsSink>,
+    ) -> Result<ServerReport, ServeError> {
         let template = workload.template;
         template.validate()?;
         let cfg = &self.config;
         let full_bits = template.full_bits();
-        let buffer_bits = cfg.buffer_slots * full_bits;
-        let miss_bits = cfg.miss_slots * full_bits;
+        let (buffer_bits, miss_bits) = cfg.validate_for(full_bits)?;
 
         let mut admission = AdmissionController::new(cfg.capacity, cfg.policy, full_bits)?;
         let mut degrade = cfg.degrade.map(LayerController::new).transpose()?;
@@ -202,6 +249,8 @@ impl ServerSim {
 
         for slot in 0..workload.slots {
             let now = SimTime::from_ticks(slot);
+            let admitted_before = admission.admitted();
+            let misses_before = report.deadline_misses;
             due.clear();
             due.extend(queue.drain_ready(now).map(|ev| ev.payload));
             for &ev in &due {
@@ -234,55 +283,65 @@ impl ServerSim {
             };
             report.mean_layers += layers.min(template.max_layers) as f64;
 
-            if active.is_empty() {
-                continue;
-            }
-
-            // Enqueue this slot's demand into each playout buffer.
             let demand = template.demand_bits(layers);
-            for s in &mut active {
-                let want = s.backlog_bits + demand;
-                let capped = want.min(buffer_bits);
-                report.buffer_dropped_bits += want - capped;
-                s.backlog_bits = capped;
-            }
-
-            // Max-min fair water-filling: ascending backlog, ties by id,
-            // so small sessions are satisfied first and the slack flows
-            // to the backlogged ones. Integer division truncation leaves
-            // at most `n` bits per slot unallocated.
-            order.clear();
-            order.extend(0..active.len());
-            order.sort_by_key(|&i| (active[i].backlog_bits, active[i].id));
-            grants.clear();
-            grants.resize(active.len(), 0);
-            let mut remaining = cfg.capacity.link_bits_per_slot;
-            let mut left = order.len() as u64;
-            for &i in &order {
-                let share = remaining / left;
-                let grant = active[i].backlog_bits.min(share);
-                grants[i] = grant;
-                remaining -= grant;
-                left -= 1;
-            }
-
-            report.session_slots += active.len() as u64;
+            let enqueued = demand * active.len() as u64;
             let mut backlog_after = 0u64;
-            for (s, &grant) in active.iter_mut().zip(&grants) {
-                s.backlog_bits -= grant;
-                report.delivered_bits += grant;
-                if s.backlog_bits > miss_bits {
-                    // Too far behind the deadline: the client skips
-                    // ahead, stale bits are worthless.
-                    report.deadline_misses += 1;
-                    report.purged_bits += s.backlog_bits - miss_bits;
-                    s.backlog_bits = miss_bits;
-                } else {
-                    report.utility_sum += template.utility(grant.min(full_bits));
+            if !active.is_empty() {
+                // Enqueue this slot's demand into each playout buffer.
+                for s in &mut active {
+                    let want = s.backlog_bits + demand;
+                    let capped = want.min(buffer_bits);
+                    report.buffer_dropped_bits += want - capped;
+                    s.backlog_bits = capped;
                 }
-                backlog_after += s.backlog_bits;
+
+                // Max-min fair water-filling: ascending backlog, ties by
+                // id, so small sessions are satisfied first and the slack
+                // flows to the backlogged ones. Integer division
+                // truncation leaves at most `n` bits per slot unallocated.
+                order.clear();
+                order.extend(0..active.len());
+                order.sort_by_key(|&i| (active[i].backlog_bits, active[i].id));
+                grants.clear();
+                grants.resize(active.len(), 0);
+                let mut remaining = cfg.capacity.link_bits_per_slot;
+                let mut left = order.len() as u64;
+                for &i in &order {
+                    let share = remaining / left;
+                    let grant = active[i].backlog_bits.min(share);
+                    grants[i] = grant;
+                    remaining -= grant;
+                    left -= 1;
+                }
+
+                report.session_slots += active.len() as u64;
+                for (s, &grant) in active.iter_mut().zip(&grants) {
+                    s.backlog_bits -= grant;
+                    report.delivered_bits += grant;
+                    if s.backlog_bits > miss_bits {
+                        // Too far behind the deadline: the client skips
+                        // ahead, stale bits are worthless.
+                        report.deadline_misses += 1;
+                        report.purged_bits += s.backlog_bits - miss_bits;
+                        s.backlog_bits = miss_bits;
+                    } else {
+                        report.utility_sum += template.utility(grant.min(full_bits));
+                    }
+                    backlog_after += s.backlog_bits;
+                }
+                report.measured_occupancy += backlog_after as f64 / full_bits as f64;
             }
-            report.measured_occupancy += backlog_after as f64 / full_bits as f64;
+
+            if let Some(s) = sink.as_deref_mut() {
+                s.record_slot(
+                    admission.admitted() - admitted_before,
+                    active.len() as u64,
+                    backlog_after,
+                    layers.min(template.max_layers) as u64,
+                    report.deadline_misses - misses_before,
+                    enqueued,
+                );
+            }
         }
 
         report.admitted = admission.admitted();
@@ -403,6 +462,74 @@ mod tests {
         assert!(r.predicted_occupancy > 0.0);
         assert!(r.predicted_occupancy < f64::from(r.slots as u32));
         assert!(r.measured_occupancy < 8.0, "measured {}", r.measured_occupancy);
+    }
+
+    /// Regression: `run` used to compute `buffer_slots * full_bits` /
+    /// `miss_slots * full_bits` unchecked, so a large-but-valid config
+    /// silently wrapped in release builds (and aborted in debug).
+    #[test]
+    fn huge_slot_thresholds_fail_validation_instead_of_wrapping() {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let mut cfg = config(10, &template, AdmissionPolicy::QueuePredictor);
+        cfg.buffer_slots = u64::MAX;
+        cfg.miss_slots = u64::MAX - 1;
+        // Slot counts alone are valid (buffer > miss > 0)...
+        let sim = ServerSim::new(cfg).expect("slot counts alone are valid");
+        assert!(cfg.validate().is_ok());
+        // ...but the bit thresholds overflow at this template's demand.
+        assert!(matches!(
+            cfg.validate_for(template.full_bits()),
+            Err(ServeError::InvalidParameter("buffer_slots"))
+        ));
+        let workload = Workload::generate(
+            ArrivalProcess::Poisson { rate: 0.5 },
+            template,
+            10,
+            1,
+        )
+        .expect("valid");
+        assert!(matches!(
+            sim.run(&workload),
+            Err(ServeError::InvalidParameter("buffer_slots"))
+        ));
+        // The largest non-overflowing threshold still validates.
+        let mut cfg = config(10, &template, AdmissionPolicy::QueuePredictor);
+        cfg.buffer_slots = u64::MAX / template.full_bits();
+        cfg.miss_slots = cfg.buffer_slots - 1;
+        assert!(cfg.validate_for(template.full_bits()).is_ok());
+    }
+
+    #[test]
+    fn instrumented_run_matches_report_and_plain_run() {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let cfg = config(20, &template, AdmissionPolicy::QueuePredictor);
+        let rate = rate_for_load(1.2, &template, cfg.capacity.link_bits_per_slot);
+        let workload =
+            Workload::generate(ArrivalProcess::Poisson { rate }, template, 600, 7).expect("valid");
+        let sim = ServerSim::new(cfg).expect("valid");
+        let plain = sim.run(&workload).expect("runs");
+        let mut sink = crate::metrics::ServeMetricsSink::with_capacity(600);
+        let instrumented = sim
+            .run_instrumented(&workload, Some(&mut sink))
+            .expect("runs");
+        assert_eq!(plain, instrumented, "sink must not perturb the run");
+        assert_eq!(sink.slots() as u64, plain.slots, "one sample per slot");
+        assert_eq!(sink.admitted().iter().sum::<u64>(), plain.admitted);
+        assert_eq!(
+            sink.deadline_misses().iter().sum::<u64>(),
+            plain.deadline_misses
+        );
+        assert_eq!(
+            sink.active().iter().sum::<u64>(),
+            plain.session_slots,
+            "active session-slots must match the report"
+        );
+        // Conservation: everything accounted leaving the buffers is
+        // bounded by what entered them.
+        assert!(
+            plain.delivered_bits + plain.buffer_dropped_bits + plain.purged_bits
+                <= sink.enqueued_bits()
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use dms_serve::{
     rate_for_load, AdmissionController, AdmissionPolicy, ArrivalProcess, CapacityModel,
-    DegradeConfig, ServerConfig, ServerSim, SessionTemplate, Workload,
+    DegradeConfig, ServeMetricsSink, ServerConfig, ServerSim, SessionTemplate, Workload,
 };
 use proptest::prelude::*;
 
@@ -102,6 +102,64 @@ proptest! {
             "mean predicted occupancy {} exceeds bound {}",
             report.predicted_occupancy,
             capacity.occupancy_bound
+        );
+    }
+
+    /// Bookkeeping invariants across random loads, policies and seeds:
+    /// every offered session is either admitted or rejected, and the
+    /// bits the report accounts for leaving the playout buffers
+    /// (delivered + dropped at the door + purged by deadline skips)
+    /// never exceed the bits the workload enqueued into them.
+    #[test]
+    fn server_bit_accounting_is_conservative(
+        load in 0.2f64..2.0,
+        policy_admit_all in proptest::bool::ANY,
+        degrade_on in proptest::bool::ANY,
+        selfsim in proptest::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let capacity = CapacityModel {
+            link_bits_per_slot: 10 * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        };
+        let rate = rate_for_load(load, &template, capacity.link_bits_per_slot);
+        let process = if selfsim {
+            ArrivalProcess::SelfSimilar { rate, hurst: 0.85, burstiness: 1.0 }
+        } else {
+            ArrivalProcess::Poisson { rate }
+        };
+        let workload = Workload::generate(process, template, 120, seed).expect("valid workload");
+        let server = ServerSim::new(ServerConfig {
+            capacity,
+            policy: if policy_admit_all {
+                AdmissionPolicy::AdmitAll
+            } else {
+                AdmissionPolicy::QueuePredictor
+            },
+            degrade: degrade_on.then(DegradeConfig::default),
+            buffer_slots: 4,
+            miss_slots: 2,
+        })
+        .expect("valid config");
+        let mut sink = ServeMetricsSink::with_capacity(120);
+        let report = server.run_instrumented(&workload, Some(&mut sink)).expect("runs");
+        prop_assert_eq!(report.admitted + report.rejected, report.offered);
+        prop_assert!(
+            report.delivered_bits + report.buffer_dropped_bits + report.purged_bits
+                <= sink.enqueued_bits(),
+            "accounted bits {} exceed enqueued bits {}",
+            report.delivered_bits + report.buffer_dropped_bits + report.purged_bits,
+            sink.enqueued_bits()
+        );
+        // The sink's per-slot series are consistent with the report.
+        prop_assert_eq!(sink.slots() as u64, report.slots);
+        prop_assert_eq!(sink.admitted().iter().sum::<u64>(), report.admitted);
+        prop_assert_eq!(sink.active().iter().sum::<u64>(), report.session_slots);
+        prop_assert_eq!(
+            sink.deadline_misses().iter().sum::<u64>(),
+            report.deadline_misses
         );
     }
 }

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod engine;
+pub mod metrics;
 pub mod par;
 pub mod rng;
 pub mod stats;
@@ -55,6 +56,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{DrainReady, Engine, EventQueue, Model, ScheduledEvent};
+pub use metrics::{JsonValue, Metric, MetricsRegistry, RunLog, RunRecord, ScopedMetrics};
 pub use par::ParRunner;
 pub use rng::SimRng;
 pub use stats::{Autocorrelation, ConfidenceInterval, Histogram, OnlineStats, TimeWeighted};

@@ -1,0 +1,818 @@
+//! Structured observability: metrics registry and run-logs.
+//!
+//! The paper's central discipline (§2.2, §4) is that design decisions
+//! are driven by *measured* quantities — buffer occupancy, miss rates,
+//! utilisation — so the measurement machinery must itself be
+//! first-class and inspectable. Experiments that print a table and
+//! throw away every intermediate signal cannot be audited. This module
+//! provides the two pieces every simulator in the workspace records
+//! into:
+//!
+//! * [`MetricsRegistry`] — a flat, deterministic registry of named
+//!   [`Metric`]s (counters, gauges, histograms and per-slot series)
+//!   addressed as `scope/name`, with merge semantics designed so that
+//!   shards merged in job order reproduce a sequential run bit for bit
+//!   (the [`crate::ParRunner`] contract extended to metrics);
+//! * [`RunLog`] — a structured log of one simulation run: string
+//!   metadata, typed [`RunRecord`]s and an embedded registry, dumped as
+//!   deterministic JSON.
+//!
+//! The workspace is offline and the vendored `serde` is a no-op stub,
+//! so JSON is rendered by the built-in [`JsonValue`] tree. Rendering is
+//! *deterministic*: map keys come from a `BTreeMap`, record fields keep
+//! insertion order, and floats print through Rust's shortest-round-trip
+//! formatting, which is a pure function of the bits. Two runs that
+//! compute identical values therefore serialise to identical bytes —
+//! the property CI enforces by diffing run-logs across `DMS_THREADS`
+//! settings.
+//!
+//! # Examples
+//!
+//! ```
+//! use dms_sim::metrics::{MetricsRegistry, RunLog, RunRecord};
+//!
+//! let mut reg = MetricsRegistry::new();
+//! let mut server = reg.scoped("server");
+//! server.counter_add("admitted", 3);
+//! server.series_push("backlog", 0.5);
+//! assert_eq!(reg.counter("server/admitted"), 3);
+//!
+//! let mut log = RunLog::new();
+//! log.set_meta("experiment", "demo");
+//! log.push(RunRecord::new("row").at(0).with("value", 1.25));
+//! *log.registry_mut() = reg;
+//! let json = log.to_json_string();
+//! assert!(json.contains("\"server/admitted\""));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::stats::Histogram;
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+/// A JSON value with deterministic rendering.
+///
+/// Exists because the offline workspace vendors `serde` as a no-op stub
+/// (no `serde_json`). Floats render via Rust's shortest-round-trip
+/// `Display`, so identical bits produce identical bytes; non-finite
+/// floats render as `null` (JSON has no NaN/∞).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer.
+    Uint(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number (`null` if non-finite).
+    Float(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Ordered array.
+    Array(Vec<JsonValue>),
+    /// Object whose fields render in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Uint(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::Uint(u64::from(v))
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Uint(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl From<Vec<f64>> for JsonValue {
+    fn from(v: Vec<f64>) -> Self {
+        JsonValue::Array(v.into_iter().map(JsonValue::Float).collect())
+    }
+}
+
+/// Escapes `s` into `out` as a JSON string literal (with quotes).
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl JsonValue {
+    /// Renders the value as pretty-printed JSON (two-space indent).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::Uint(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    escape_into(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// One named measurement in a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone event count (merge: add).
+    Counter(u64),
+    /// Last-observed level (merge: the later shard wins).
+    Gauge(f64),
+    /// Sample distribution (merge: bin-wise add; shapes must agree).
+    Histogram(Histogram),
+    /// Ordered per-slot samples (merge: concatenate in job order).
+    Series(Vec<f64>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Series(_) => "series",
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut fields = vec![("type".to_string(), JsonValue::from(self.kind()))];
+        match self {
+            Metric::Counter(v) => fields.push(("value".to_string(), JsonValue::Uint(*v))),
+            Metric::Gauge(v) => fields.push(("value".to_string(), JsonValue::Float(*v))),
+            Metric::Histogram(h) => {
+                fields.push(("lo".to_string(), JsonValue::Float(h.lo())));
+                fields.push(("hi".to_string(), JsonValue::Float(h.hi())));
+                fields.push((
+                    "bins".to_string(),
+                    JsonValue::Array(h.bins().iter().map(|&c| JsonValue::Uint(c)).collect()),
+                ));
+                fields.push(("underflow".to_string(), JsonValue::Uint(h.underflow())));
+                fields.push(("overflow".to_string(), JsonValue::Uint(h.overflow())));
+            }
+            Metric::Series(values) => {
+                fields.push(("values".to_string(), JsonValue::from(values.clone())));
+            }
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+/// A deterministic registry of named metrics.
+///
+/// Keys are flat `scope/name` strings (see [`MetricsRegistry::scoped`]
+/// for a prefixing handle) held in a `BTreeMap`, so iteration and JSON
+/// output order are independent of insertion order.
+///
+/// # Merge semantics
+///
+/// [`MetricsRegistry::merge`] folds another registry in: counters add,
+/// series concatenate, histograms add bin-wise, gauges take the
+/// incoming value. Merging per-shard registries **in job order** is
+/// therefore exactly equivalent to recording sequentially — the same
+/// argument that makes [`crate::ParRunner`] outputs bit-identical at
+/// any thread count, here extended to metrics. Unit-tested by
+/// `parallel_merge_equals_sequential`.
+///
+/// # Panics
+///
+/// Recording or merging a key with a different metric type (or a
+/// histogram with a different shape) panics: silently coercing a
+/// measurement is exactly the kind of quiet corruption this layer
+/// exists to rule out.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry {
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Looks up a metric by its full `scope/name` key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Metric> {
+        self.metrics.get(key)
+    }
+
+    /// A handle that prefixes every key with `scope` and a `/`.
+    pub fn scoped(&mut self, scope: &str) -> ScopedMetrics<'_> {
+        ScopedMetrics {
+            registry: self,
+            prefix: format!("{scope}/"),
+        }
+    }
+
+    /// Adds `by` to the counter at `key`, creating it at zero.
+    pub fn counter_add(&mut self, key: &str, by: u64) {
+        match self
+            .metrics
+            .entry(key.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v += by,
+            other => panic!("metric {key} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Sets the gauge at `key` (creating it).
+    pub fn gauge_set(&mut self, key: &str, value: f64) {
+        match self
+            .metrics
+            .entry(key.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(v) => *v = value,
+            other => panic!("metric {key} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records `x` into the histogram at `key`, creating it over
+    /// `[lo, hi)` with `bins` bins on first use.
+    pub fn histogram_record(&mut self, key: &str, x: f64, lo: f64, hi: f64, bins: usize) {
+        match self
+            .metrics
+            .entry(key.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(lo, hi, bins)))
+        {
+            Metric::Histogram(h) => h.record(x),
+            other => panic!("metric {key} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Appends `value` to the series at `key`, creating it empty.
+    pub fn series_push(&mut self, key: &str, value: f64) {
+        match self
+            .metrics
+            .entry(key.to_string())
+            .or_insert_with(|| Metric::Series(Vec::new()))
+        {
+            Metric::Series(v) => v.push(value),
+            other => panic!("metric {key} is a {}, not a series", other.kind()),
+        }
+    }
+
+    /// Appends all of `values` to the series at `key`, creating it.
+    pub fn series_extend(&mut self, key: &str, values: impl IntoIterator<Item = f64>) {
+        match self
+            .metrics
+            .entry(key.to_string())
+            .or_insert_with(|| Metric::Series(Vec::new()))
+        {
+            Metric::Series(v) => v.extend(values),
+            other => panic!("metric {key} is a {}, not a series", other.kind()),
+        }
+    }
+
+    /// Counter value at `key` (0 if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` holds a non-counter metric.
+    #[must_use]
+    pub fn counter(&self, key: &str) -> u64 {
+        match self.metrics.get(key) {
+            None => 0,
+            Some(Metric::Counter(v)) => *v,
+            Some(other) => panic!("metric {key} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Series values at `key` (empty if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` holds a non-series metric.
+    #[must_use]
+    pub fn series(&self, key: &str) -> &[f64] {
+        match self.metrics.get(key) {
+            None => &[],
+            Some(Metric::Series(v)) => v,
+            Some(other) => panic!("metric {key} is a {}, not a series", other.kind()),
+        }
+    }
+
+    /// Merges `other` into `self` (see the type docs for semantics).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (key, incoming) in &other.metrics {
+            match self.metrics.get_mut(key) {
+                None => {
+                    self.metrics.insert(key.clone(), incoming.clone());
+                }
+                Some(existing) => match (existing, incoming) {
+                    (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+                    (Metric::Gauge(a), Metric::Gauge(b)) => *a = *b,
+                    (Metric::Histogram(a), Metric::Histogram(b)) => a.merge(b),
+                    (Metric::Series(a), Metric::Series(b)) => a.extend_from_slice(b),
+                    (existing, incoming) => panic!(
+                        "metric {key}: cannot merge {} into {}",
+                        incoming.kind(),
+                        existing.kind()
+                    ),
+                },
+            }
+        }
+    }
+
+    /// The registry as a JSON object keyed by metric name.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.metrics
+                .iter()
+                .map(|(k, m)| (k.clone(), m.to_json()))
+                .collect(),
+        )
+    }
+}
+
+/// A mutable view of a [`MetricsRegistry`] that prefixes every key.
+#[derive(Debug)]
+pub struct ScopedMetrics<'a> {
+    registry: &'a mut MetricsRegistry,
+    prefix: String,
+}
+
+impl ScopedMetrics<'_> {
+    fn key(&self, name: &str) -> String {
+        format!("{}{name}", self.prefix)
+    }
+
+    /// Adds `by` to the scoped counter `name`.
+    pub fn counter_add(&mut self, name: &str, by: u64) {
+        self.registry.counter_add(&self.key(name), by);
+    }
+
+    /// Sets the scoped gauge `name`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.registry.gauge_set(&self.key(name), value);
+    }
+
+    /// Records into the scoped histogram `name`.
+    pub fn histogram_record(&mut self, name: &str, x: f64, lo: f64, hi: f64, bins: usize) {
+        self.registry.histogram_record(&self.key(name), x, lo, hi, bins);
+    }
+
+    /// Appends to the scoped series `name`.
+    pub fn series_push(&mut self, name: &str, value: f64) {
+        self.registry.series_push(&self.key(name), value);
+    }
+
+    /// Appends all of `values` to the scoped series `name`.
+    pub fn series_extend(&mut self, name: &str, values: impl IntoIterator<Item = f64>) {
+        self.registry.series_extend(&self.key(name), values);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run-logs
+// ---------------------------------------------------------------------------
+
+/// One typed record of a [`RunLog`].
+///
+/// A record has a `kind` (its type tag), an optional slot index, and
+/// ordered named fields. Build with the fluent constructors:
+///
+/// ```
+/// use dms_sim::metrics::RunRecord;
+/// let r = RunRecord::new("miss").at(17).with("session", 4u64);
+/// assert_eq!(r.kind(), "miss");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    kind: String,
+    slot: Option<u64>,
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl RunRecord {
+    /// Creates a record of the given kind with no fields.
+    #[must_use]
+    pub fn new(kind: impl Into<String>) -> Self {
+        RunRecord {
+            kind: kind.into(),
+            slot: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Stamps the record with a slot index.
+    #[must_use]
+    pub fn at(mut self, slot: u64) -> Self {
+        self.slot = Some(slot);
+        self
+    }
+
+    /// Appends a named field (fields keep insertion order).
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<JsonValue>) -> Self {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// The record's type tag.
+    #[must_use]
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The slot index, if stamped.
+    #[must_use]
+    pub fn slot(&self) -> Option<u64> {
+        self.slot
+    }
+
+    /// The named fields in insertion order.
+    #[must_use]
+    pub fn fields(&self) -> &[(String, JsonValue)] {
+        &self.fields
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut obj = vec![("kind".to_string(), JsonValue::from(self.kind.as_str()))];
+        if let Some(slot) = self.slot {
+            obj.push(("slot".to_string(), JsonValue::Uint(slot)));
+        }
+        obj.push((
+            "fields".to_string(),
+            JsonValue::Object(self.fields.clone()),
+        ));
+        JsonValue::Object(obj)
+    }
+}
+
+/// A structured, serialisable log of one simulation run.
+///
+/// Holds string metadata (sorted), an embedded [`MetricsRegistry`] and
+/// an ordered list of [`RunRecord`]s. [`RunLog::to_json_string`] is
+/// deterministic — byte-identical for byte-identical content — which is
+/// what lets CI diff run-logs across `DMS_THREADS` settings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunLog {
+    meta: BTreeMap<String, String>,
+    registry: MetricsRegistry,
+    records: Vec<RunRecord>,
+}
+
+impl RunLog {
+    /// Creates an empty run-log.
+    #[must_use]
+    pub fn new() -> Self {
+        RunLog::default()
+    }
+
+    /// Sets (or replaces) a metadata entry.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.insert(key.into(), value.into());
+    }
+
+    /// Metadata value for `key`, if set.
+    #[must_use]
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.get(key).map(String::as_str)
+    }
+
+    /// The embedded metrics registry.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the embedded metrics registry.
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: RunRecord) {
+        self.records.push(record);
+    }
+
+    /// The records in append order.
+    #[must_use]
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// The run-log as a JSON object `{meta, metrics, records}`.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "meta".to_string(),
+                JsonValue::Object(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::from(v.as_str())))
+                        .collect(),
+                ),
+            ),
+            ("metrics".to_string(), self.registry.to_json()),
+            (
+                "records".to_string(),
+                JsonValue::Array(self.records.iter().map(RunRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The run-log rendered as pretty JSON with a trailing newline.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = self.to_json().render();
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let v = JsonValue::Object(vec![
+            ("s".to_string(), JsonValue::from("a\"b\\c\nd")),
+            ("n".to_string(), JsonValue::Float(1.5)),
+            ("whole".to_string(), JsonValue::Float(2.0)),
+            ("bad".to_string(), JsonValue::Float(f64::NAN)),
+            ("i".to_string(), JsonValue::Int(-3)),
+            ("e".to_string(), JsonValue::Array(Vec::new())),
+            ("b".to_string(), JsonValue::Bool(true)),
+            ("z".to_string(), JsonValue::Null),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("\"n\": 1.5"));
+        assert!(s.contains("\"whole\": 2"));
+        assert!(s.contains("\"bad\": null"));
+        assert!(s.contains("\"i\": -3"));
+        assert!(s.contains("\"e\": []"));
+        assert!(s.contains("\"b\": true"));
+        assert!(s.contains("\"z\": null"));
+        assert_eq!(s, v.render(), "rendering must be a pure function");
+    }
+
+    #[test]
+    fn registry_records_all_metric_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("a/events", 2);
+        reg.counter_add("a/events", 3);
+        reg.gauge_set("a/level", 1.25);
+        reg.gauge_set("a/level", 2.5);
+        reg.histogram_record("a/occ", 0.5, 0.0, 1.0, 4);
+        reg.series_push("a/backlog", 7.0);
+        reg.series_extend("a/backlog", [8.0, 9.0]);
+        assert_eq!(reg.counter("a/events"), 5);
+        assert_eq!(reg.get("a/level"), Some(&Metric::Gauge(2.5)));
+        assert_eq!(reg.series("a/backlog"), &[7.0, 8.0, 9.0]);
+        assert_eq!(reg.len(), 4);
+        assert_eq!(reg.counter("absent"), 0);
+        assert!(reg.series("absent").is_empty());
+    }
+
+    #[test]
+    fn scoped_handle_prefixes_keys() {
+        let mut reg = MetricsRegistry::new();
+        let mut s = reg.scoped("server");
+        s.counter_add("admitted", 1);
+        s.gauge_set("load", 0.8);
+        s.series_push("active", 3.0);
+        s.histogram_record("occ", 2.0, 0.0, 8.0, 8);
+        assert_eq!(reg.counter("server/admitted"), 1);
+        assert!(reg.get("server/load").is_some());
+        assert!(reg.get("server/occ").is_some());
+        assert_eq!(reg.series("server/active"), &[3.0]);
+    }
+
+    /// The registry analogue of the `ParRunner` determinism contract:
+    /// shards merged in job order reproduce the sequential recording.
+    #[test]
+    fn parallel_merge_equals_sequential() {
+        let record = |reg: &mut MetricsRegistry, jobs: std::ops::Range<u64>| {
+            for j in jobs {
+                reg.counter_add("events", 1);
+                reg.gauge_set("last_job", j as f64);
+                reg.series_push("series", j as f64 * 0.5);
+                reg.histogram_record("hist", (j % 8) as f64, 0.0, 8.0, 8);
+            }
+        };
+        let mut sequential = MetricsRegistry::new();
+        record(&mut sequential, 0..100);
+        // Shard as a ParRunner would: disjoint job ranges, merged in
+        // job order regardless of which thread finished first.
+        let shards: Vec<MetricsRegistry> = crate::ParRunner::with_threads(4).run(4, |w| {
+            let mut reg = MetricsRegistry::new();
+            record(&mut reg, (w as u64 * 25)..((w as u64 + 1) * 25));
+            reg
+        });
+        let mut merged = MetricsRegistry::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.to_json().render(), sequential.to_json().render());
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 7);
+        b.series_push("s", 1.0);
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn type_confusion_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("x", 1.0);
+        reg.counter_add("x", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn merge_type_confusion_panics() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("x", 1);
+        let mut b = MetricsRegistry::new();
+        b.gauge_set("x", 1.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn run_log_round_trip_shape() {
+        let mut log = RunLog::new();
+        log.set_meta("id", "E12");
+        log.set_meta("id", "E12b"); // replace, not duplicate
+        log.push(
+            RunRecord::new("row")
+                .at(3)
+                .with("metric", "miss rate")
+                .with("value", 0.25),
+        );
+        log.registry_mut().counter_add("server/admitted", 4);
+        assert_eq!(log.meta("id"), Some("E12b"));
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.records()[0].slot(), Some(3));
+        let json = log.to_json_string();
+        assert!(json.starts_with('{'));
+        assert!(json.ends_with("}\n"));
+        for needle in [
+            "\"meta\"",
+            "\"metrics\"",
+            "\"records\"",
+            "\"E12b\"",
+            "\"server/admitted\"",
+            "\"kind\": \"row\"",
+            "\"slot\": 3",
+            "\"value\": 0.25",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn run_log_json_is_deterministic() {
+        let build = || {
+            let mut log = RunLog::new();
+            log.set_meta("b", "2");
+            log.set_meta("a", "1");
+            log.registry_mut().series_extend("s", [1.0, 2.5, 3.25]);
+            log.push(RunRecord::new("r").with("x", 1.0f64 / 3.0));
+            log.to_json_string()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -218,12 +218,18 @@ impl TimeWeighted {
 
     /// Sets the level to `new_level` as of time `now`.
     ///
-    /// Times must be non-decreasing; an out-of-order update is clamped to
-    /// the last seen time (contributing zero weight).
+    /// Times must be non-decreasing; an out-of-order update (`now`
+    /// earlier than the last seen time) is ignored entirely — the held
+    /// level, peak and clock are all preserved, so the update carries
+    /// zero weight *and* cannot retroactively change the level the next
+    /// in-order interval is weighted by.
     pub fn update(&mut self, now: crate::SimTime, new_level: f64) {
+        if now < self.last_time {
+            return;
+        }
         let dt = now.saturating_since(self.last_time) as f64;
         self.weighted_sum += self.level * dt;
-        self.last_time = self.last_time.max(now);
+        self.last_time = now;
         self.level = new_level;
         self.peak = self.peak.max(new_level);
     }
@@ -373,6 +379,13 @@ impl Histogram {
 
     /// Complementary CDF at `x`: fraction of samples `>= x` (including
     /// overflow samples).
+    ///
+    /// Bins entirely at or above `x` count in full. The bin containing
+    /// `x` contributes the linearly interpolated fraction of its width
+    /// above `x` (samples are assumed uniform within a bin), so the
+    /// estimate moves continuously as `x` sweeps across a bin instead
+    /// of dropping the whole bin at its lower edge. `x <= lo` also
+    /// counts the underflow bucket; `x > hi` counts only overflow.
     #[must_use]
     pub fn ccdf(&self, x: f64) -> f64 {
         let total = self.total();
@@ -380,17 +393,55 @@ impl Histogram {
             return 0.0;
         }
         let w = (self.hi - self.lo) / self.bins.len() as f64;
-        let mut count = self.overflow;
+        let mut count = self.overflow as f64;
         for (i, &c) in self.bins.iter().enumerate() {
-            let edge = self.lo + w * i as f64;
-            if edge >= x {
-                count += c;
+            let lo_edge = self.lo + w * i as f64;
+            let hi_edge = lo_edge + w;
+            if lo_edge >= x {
+                count += c as f64;
+            } else if hi_edge > x {
+                // Partial bin containing x: interpolate linearly.
+                count += c as f64 * (hi_edge - x) / w;
             }
         }
         if x <= self.lo {
-            count += self.underflow;
+            count += self.underflow as f64;
         }
-        count as f64 / total as f64
+        count / total as f64
+    }
+
+    /// Lower bound of the binned range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the binned range.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Adds all of `other`'s counts into `self` bin-wise.
+    ///
+    /// Merging per-shard histograms in any order reproduces the
+    /// histogram a single sequential recorder would have built, since
+    /// bin counts are sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms differ in range or bin count —
+    /// counts binned on different grids are not comparable.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different shapes"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
     }
 }
 
@@ -577,6 +628,81 @@ mod tests {
         assert!(h.ccdf(0.0) >= h.ccdf(5.0));
         assert!(h.ccdf(5.0) >= h.ccdf(9.5));
         assert!((h.ccdf(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    /// Regression: an out-of-order update used to overwrite `level`
+    /// and `peak` even though it contributed zero weight, corrupting
+    /// the weighting of the *next* in-order interval.
+    #[test]
+    fn time_weighted_ignores_out_of_order_updates() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.update(SimTime::from_ticks(10), 5.0);
+        // Stale update from the past: must not change anything.
+        tw.update(SimTime::from_ticks(5), 100.0);
+        assert_eq!(tw.level(), 5.0);
+        assert_eq!(tw.peak(), 5.0);
+        // 1.0 for 10 ticks, then 5.0 held for 10 ticks => average 3.0.
+        assert!((tw.time_average(SimTime::from_ticks(20)) - 3.0).abs() < 1e-12);
+        // An update at exactly the current time is in-order (dt = 0).
+        tw.update(SimTime::from_ticks(10), 2.0);
+        assert_eq!(tw.level(), 2.0);
+    }
+
+    /// Regression: `ccdf` used to drop the entire bin containing `x`,
+    /// undercounting the tail by up to one full bin.
+    #[test]
+    fn ccdf_interpolates_the_partial_bin() {
+        // 100 samples, 10 per bin of width 10 over [0, 100).
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(f64::from((i % 10) * 10));
+        }
+        // x = 45 sits mid-bin: 5 full bins above (50%) plus half of
+        // the [40, 50) bin (5%). The pre-fix code reported 0.50.
+        assert!((h.ccdf(45.0) - 0.55).abs() < 1e-12);
+        // Bin edges are unchanged by interpolation.
+        assert!((h.ccdf(40.0) - 0.60).abs() < 1e-12);
+        assert!((h.ccdf(50.0) - 0.50).abs() < 1e-12);
+        // Continuity: sweeping x inside one bin moves the estimate
+        // smoothly, never by a whole-bin jump.
+        let mut prev = h.ccdf(40.0);
+        for step in 1..=10 {
+            let next = h.ccdf(40.0 + f64::from(step));
+            assert!(next <= prev && prev - next < 0.011 + 1e-12);
+            prev = next;
+        }
+        // Above the range only overflow counts; below, everything.
+        assert_eq!(h.ccdf(100.0), 0.0);
+        assert_eq!(h.ccdf(-3.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential() {
+        let samples: Vec<f64> = (0..200).map(|i| f64::from(i) * 0.6 - 10.0).collect();
+        let mut all = Histogram::new(0.0, 100.0, 20);
+        for &x in &samples {
+            all.record(x);
+        }
+        let mut left = Histogram::new(0.0, 100.0, 20);
+        let mut right = Histogram::new(0.0, 100.0, 20);
+        for &x in &samples[..80] {
+            left.record(x);
+        }
+        for &x in &samples[80..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left, all);
+        assert_eq!(left.lo(), 0.0);
+        assert_eq!(left.hi(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn histogram_merge_rejects_mismatched_shapes() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
     }
 
     #[test]
