@@ -7,11 +7,24 @@
 //! are alive (k-of-n redundancy). Both the closed-form availability and
 //! a Monte-Carlo estimate are provided, so experiments can verify one
 //! against the other (§2.2's simulation-vs-analysis duality).
+//!
+//! The Monte-Carlo estimator samples sensor-failure schedules from the
+//! workspace-wide fault engine, [`dms_sim::FaultPlan`]
+//! ([`dms_sim::FaultSpec::ComponentFailures`] +
+//! [`dms_sim::FaultPlan::alive_components`]) — the same vocabulary that
+//! injects link/session faults into `dms-serve`, so there is exactly
+//! one fault-event model across the workspace.
 
-use dms_sim::SimRng;
+use dms_sim::{FaultPlan, FaultSpec, SimRng};
 use serde::{Deserialize, Serialize};
 
 use crate::error::AmbientError;
+
+/// Fault-plan slots per unit of population model time. The plan's
+/// schedule is integer-slotted; at 1024 slots per unit time the
+/// discretisation shifts the evaluation time by at most `1/2048` of a
+/// unit — far below Monte-Carlo noise at any feasible trial count.
+const SLOTS_PER_UNIT_TIME: u64 = 1024;
 
 /// A population of identical sensors with exponential failures.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,7 +43,7 @@ impl SensorPopulation {
     /// Returns [`AmbientError::InvalidParameter`] for zero sensors or a
     /// non-positive/non-finite rate.
     pub fn new(sensors: usize, failure_rate: f64) -> Result<Self, AmbientError> {
-        if sensors == 0 {
+        if sensors == 0 || sensors > u32::MAX as usize {
             return Err(AmbientError::InvalidParameter("sensors"));
         }
         if !(failure_rate.is_finite() && failure_rate > 0.0) {
@@ -68,16 +81,27 @@ impl SensorPopulation {
 
     /// Monte-Carlo estimate of the k-of-n availability at time `t` over
     /// `trials` populations.
+    ///
+    /// Each trial compiles one [`FaultPlan`] sensor-failure schedule
+    /// ([`FaultSpec::ComponentFailures`], exponential lifetimes drawn
+    /// at compile time from `rng`) and takes the census at the slot
+    /// nearest `t`. The plan clips events past its horizon, so the
+    /// census slot sits *inside* the horizon by construction.
     #[must_use]
     pub fn availability_mc(&self, k: usize, t: f64, trials: usize, rng: &mut SimRng) -> f64 {
         if trials == 0 {
             return 0.0;
         }
-        let p = self.sensor_survival(t);
+        let eval_slot = (t.max(0.0) * SLOTS_PER_UNIT_TIME as f64).round() as u64;
+        let spec = FaultSpec::ComponentFailures {
+            components: self.sensors as u32,
+            failure_rate: self.failure_rate / SLOTS_PER_UNIT_TIME as f64,
+        };
         let mut up = 0usize;
         for _ in 0..trials {
-            let alive = (0..self.sensors).filter(|_| rng.chance(p)).count();
-            if alive >= k {
+            let plan = FaultPlan::compile_with(&[spec], eval_slot + 1, rng)
+                .expect("a validated population always compiles");
+            if plan.alive_components(self.sensors as u32, eval_slot) as usize >= k {
                 up += 1;
             }
         }

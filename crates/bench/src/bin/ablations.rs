@@ -47,8 +47,14 @@ fn main() {
 fn routing_ablation() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Ablation 1 — NoC routing algorithm (§3.3 ii)\n");
-    let _ = writeln!(out, "| traffic | routing | latency (cyc) | p95 (cyc) | delivered |");
-    let _ = writeln!(out, "|---------|---------|---------------|-----------|-----------|");
+    let _ = writeln!(
+        out,
+        "| traffic | routing | latency (cyc) | p95 (cyc) | delivered |"
+    );
+    let _ = writeln!(
+        out,
+        "|---------|---------|---------------|-----------|-----------|"
+    );
     let cases: Vec<(&str, TrafficPattern, RoutingAlgorithm)> = [
         ("uniform", TrafficPattern::Uniform),
         (
@@ -96,9 +102,18 @@ fn routing_ablation() -> String {
 
 fn buffer_depth_ablation() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Ablation 2 — router buffer depth under LRD traffic (§3.2)\n");
-    let _ = writeln!(out, "| buffer (units) | Poisson-equiv loss | LRD loss | LRD mean occupancy |");
-    let _ = writeln!(out, "|----------------|--------------------|----------|--------------------|");
+    let _ = writeln!(
+        out,
+        "## Ablation 2 — router buffer depth under LRD traffic (§3.2)\n"
+    );
+    let _ = writeln!(
+        out,
+        "| buffer (units) | Poisson-equiv loss | LRD loss | LRD mean occupancy |"
+    );
+    let _ = writeln!(
+        out,
+        "|----------------|--------------------|----------|--------------------|"
+    );
     let mut rng = SimRng::new(55);
     let mean = 3.0;
     let lrd = FractionalGaussianNoise::new(0.85)
@@ -119,13 +134,19 @@ fn buffer_depth_ablation() -> String {
             rl.mean_occupancy
         );
     }
-    let _ = writeln!(out, "\n(LRD loss decays far slower with buffer size — the §3.2 point.)\n");
+    let _ = writeln!(
+        out,
+        "\n(LRD loss decays far slower with buffer size — the §3.2 point.)\n"
+    );
     out
 }
 
 fn asip_blocks_ablation() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Ablation 3 — ASIP predefined blocks and cache (§3.1 b, c)\n");
+    let _ = writeln!(
+        out,
+        "## Ablation 3 — ASIP predefined blocks and cache (§3.1 b, c)\n"
+    );
     let (n, tones, templates) = (512, 8, 8);
     let program = workloads::voice_recognition(n, tones, templates).expect("valid dims");
     let memory = workloads::voice_test_memory(n, tones, templates, 1 << 16);
@@ -158,9 +179,18 @@ fn asip_blocks_ablation() -> String {
 
 fn manet_overhead_ablation() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Ablation 4 — lifetime-aware routing control overhead (§4.2)\n");
-    let _ = writeln!(out, "| control overhead | battery-cost lifetime | gain vs min-power |");
-    let _ = writeln!(out, "|------------------|-----------------------|-------------------|");
+    let _ = writeln!(
+        out,
+        "## Ablation 4 — lifetime-aware routing control overhead (§4.2)\n"
+    );
+    let _ = writeln!(
+        out,
+        "| control overhead | battery-cost lifetime | gain vs min-power |"
+    );
+    let _ = writeln!(
+        out,
+        "|------------------|-----------------------|-------------------|"
+    );
     let mut base = LifetimeConfig::reference();
     let seeds = [1u64, 2, 3];
     let avg = |cfg: &LifetimeConfig, p: Protocol| -> f64 {
@@ -190,8 +220,14 @@ fn manet_overhead_ablation() -> String {
 fn mapper_ablation() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Ablation 5 — mapping optimiser choice (§3.3 i)\n");
-    let _ = writeln!(out, "| optimiser | energy (pJ/s) | saving vs random-average |");
-    let _ = writeln!(out, "|-----------|---------------|--------------------------|");
+    let _ = writeln!(
+        out,
+        "| optimiser | energy (pJ/s) | saving vs random-average |"
+    );
+    let _ = writeln!(
+        out,
+        "|-----------|---------------|--------------------------|"
+    );
     let graph = CoreGraph::vopd();
     let mesh = Mesh2d::new(4, 4).expect("valid");
     let mapper = Mapper::new(&graph, &mesh).expect("fits");

@@ -1,0 +1,114 @@
+//! Bench-regression guard: compares a fresh `bench_smoke` timing file
+//! against the committed baseline and fails on gross slowdowns.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p dms-bench --bin bench_guard -- \
+//!     BENCH_experiments.json fresh.json [--factor 2.0]
+//! ```
+//!
+//! For every experiment id present in both files the guard checks
+//! `new_seconds <= factor * max(baseline_seconds, NOISE_FLOOR)`. The
+//! noise floor keeps micro-experiments (sub-50 ms timings where CI
+//! jitter dwarfs the signal) from tripping the guard; the factor (2×
+//! by default) is deliberately loose — this is a tripwire for
+//! accidental O(n²) regressions, not a performance SLO.
+//!
+//! Exits 0 when every experiment is inside the envelope, 1 on any
+//! regression, 2 on malformed input.
+
+use dms_sim::JsonValue;
+
+/// Baselines below this many seconds are treated as this many seconds:
+/// scheduler jitter on shared CI runners makes ratios of tiny timings
+/// meaningless.
+const NOISE_FLOOR_SECONDS: f64 = 0.05;
+
+fn fail_usage() -> ! {
+    eprintln!("usage: bench_guard <baseline.json> <new.json> [--factor 2.0]");
+    std::process::exit(2);
+}
+
+/// Extracts `{id -> seconds}` from a `BENCH_experiments.json` tree.
+fn experiment_seconds(root: &JsonValue, path: &str) -> Vec<(String, f64)> {
+    let Some(experiments) = root.get("experiments").and_then(JsonValue::as_array) else {
+        eprintln!("{path}: no `experiments` array");
+        std::process::exit(2);
+    };
+    let mut out = Vec::new();
+    for entry in experiments {
+        let id = entry.get("id").and_then(JsonValue::as_str);
+        let seconds = entry.get("seconds").and_then(JsonValue::as_f64);
+        match (id, seconds) {
+            (Some(id), Some(seconds)) => out.push((id.to_string(), seconds)),
+            _ => {
+                eprintln!("{path}: malformed experiments entry");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn load(path: &str) -> JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("{path}: {err}");
+        std::process::exit(2);
+    });
+    JsonValue::parse(&text).unwrap_or_else(|err| {
+        eprintln!("{path}: invalid JSON: {err}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut factor = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--factor" {
+            factor = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| fail_usage());
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.len() != 2 || !(factor.is_finite() && factor >= 1.0) {
+        fail_usage();
+    }
+    let baseline = experiment_seconds(&load(&paths[0]), &paths[0]);
+    let fresh = experiment_seconds(&load(&paths[1]), &paths[1]);
+
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for (id, new_secs) in &fresh {
+        let Some((_, base_secs)) = baseline.iter().find(|(b, _)| b == id) else {
+            println!("{id:>6}  new experiment, no baseline — skipped");
+            continue;
+        };
+        compared += 1;
+        let budget = factor * base_secs.max(NOISE_FLOOR_SECONDS);
+        let verdict = if *new_secs > budget {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{id:>6}  baseline {base_secs:7.3} s  new {new_secs:7.3} s  budget {budget:7.3} s  {verdict}"
+        );
+    }
+    for (id, _) in &baseline {
+        if !fresh.iter().any(|(f, _)| f == id) {
+            println!("{id:>6}  present in baseline but missing from new run");
+        }
+    }
+    if regressions > 0 {
+        eprintln!("bench_guard: {regressions} of {compared} experiments exceed {factor}x baseline");
+        std::process::exit(1);
+    }
+    println!("bench_guard: {compared} experiments within {factor}x of baseline");
+}

@@ -41,7 +41,7 @@ fn main() {
     // Per-experiment timings, isolated: sequential inside and out
     // (DMS_THREADS=1), so the numbers are comparable across machines.
     std::env::set_var("DMS_THREADS", "1");
-    const EXPERIMENTS: [fn() -> Experiment; 18] = [
+    const EXPERIMENTS: [fn() -> Experiment; 19] = [
         dms_bench::fig1_stream,
         dms_bench::fig2_design_flow,
         dms_bench::e1_asip_speedup,
@@ -56,6 +56,7 @@ fn main() {
         dms_bench::e10_steady_state,
         dms_bench::e11_ambient,
         dms_bench::e12_server_load,
+        dms_bench::e13_resilience,
         dms_bench::x1_lip_sync,
         dms_bench::x2_ctmc_transient,
         dms_bench::x3_mapped_validation,
@@ -82,7 +83,9 @@ fn main() {
         std::hint::black_box(all_experiments());
     });
     let suite_speedup = sequential / parallel.max(1e-9);
-    println!("\nsuite: sequential {sequential:.3} s, parallel {parallel:.3} s ({suite_speedup:.2}x)");
+    println!(
+        "\nsuite: sequential {sequential:.3} s, parallel {parallel:.3} s ({suite_speedup:.2}x)"
+    );
 
     // fGn at 2^16 samples: circulant embedding vs Hosking oracle.
     let n = 1 << 16;
@@ -198,7 +201,10 @@ fn main() {
         (
             "suite".to_string(),
             JsonValue::Object(vec![
-                ("sequential_seconds".to_string(), JsonValue::Float(sequential)),
+                (
+                    "sequential_seconds".to_string(),
+                    JsonValue::Float(sequential),
+                ),
                 ("parallel_seconds".to_string(), JsonValue::Float(parallel)),
                 ("speedup".to_string(), JsonValue::Float(suite_speedup)),
                 ("threads".to_string(), JsonValue::from(threads)),

@@ -27,10 +27,11 @@ use dms_noc::sim::{NocConfig, NocSim};
 use dms_noc::topology::{Mesh2d, TileId};
 use dms_noc::traffic::InjectionProcess;
 use dms_serve::{
-    rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig, ServeMetricsSink,
-    ServerConfig, ServerReport, ServerSim, SessionTemplate, Workload,
+    corruption_burst, rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig,
+    FaultReport, RecoveryConfig, ServeMetricsSink, ServerConfig, ServerReport, ServerSim,
+    SessionTemplate, Workload,
 };
-use dms_sim::{MetricsRegistry, ParRunner, RunLog, RunRecord, SimRng};
+use dms_sim::{FaultPlan, FaultSpec, MetricsRegistry, ParRunner, RunLog, RunRecord, SimRng};
 use dms_wireless::channel::FadingChannel;
 use dms_wireless::fgs::{FgsStreamer, StreamingPolicy};
 use dms_wireless::jscc::JsccOptimizer;
@@ -650,7 +651,11 @@ impl E12Point {
     pub fn label(&self) -> String {
         format!(
             "{}-{:.1}x-{}",
-            if self.self_similar { "selfsim" } else { "poisson" },
+            if self.self_similar {
+                "selfsim"
+            } else {
+                "poisson"
+            },
             self.load,
             self.arm.label()
         )
@@ -673,7 +678,11 @@ pub fn e12_points() -> Vec<E12Point> {
     let mut points = Vec::new();
     for &self_similar in &[false, true] {
         for &load in &[0.5, 0.8, 1.0, 1.2, 1.5] {
-            for &arm in &[E12Arm::Uncontrolled, E12Arm::DegradeOnly, E12Arm::Controlled] {
+            for &arm in &[
+                E12Arm::Uncontrolled,
+                E12Arm::DegradeOnly,
+                E12Arm::Controlled,
+            ] {
                 points.push(E12Point {
                     load,
                     self_similar,
@@ -722,7 +731,10 @@ pub fn e12_run_point_instrumented(
     let (policy, degrade) = match point.arm {
         E12Arm::Uncontrolled => (AdmissionPolicy::AdmitAll, None),
         E12Arm::DegradeOnly => (AdmissionPolicy::AdmitAll, Some(DegradeConfig::default())),
-        E12Arm::Controlled => (AdmissionPolicy::QueuePredictor, Some(DegradeConfig::default())),
+        E12Arm::Controlled => (
+            AdmissionPolicy::QueuePredictor,
+            Some(DegradeConfig::default()),
+        ),
     };
     let server = ServerSim::new(ServerConfig {
         capacity,
@@ -794,10 +806,10 @@ pub fn e12_run_log() -> RunLog {
 /// from [`e12_run_log`].
 #[must_use]
 pub fn run_log_for(exp: &Experiment) -> RunLog {
-    let mut log = if exp.id == "E12" {
-        e12_run_log()
-    } else {
-        RunLog::new()
+    let mut log = match exp.id {
+        "E12" => e12_run_log(),
+        "E13" => e13_run_log(),
+        _ => RunLog::new(),
     };
     log.set_meta("experiment", exp.id);
     log.set_meta("title", exp.title);
@@ -911,6 +923,438 @@ pub fn e12_server_load() -> Experiment {
     Experiment {
         id: "E12",
         title: "Streaming server under load: admission control + FGS shedding (S2.2, S3.2, S4)",
+        rows,
+    }
+}
+
+/// Fault intensity of one E13 resilience point. Levels are cumulative:
+/// each adds its faults on top of the previous level, so moving along
+/// the sweep isolates the marginal damage of each fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum E13Intensity {
+    /// No faults: the paired control run.
+    None,
+    /// Transient link faults: a 60-slot fade to half capacity with a
+    /// Gilbert–Elliott corruption burst over the same window.
+    Transient,
+    /// Plus two 6-slot server stalls (zero service).
+    Stalls,
+    /// Plus two correlated session-crash bursts (60% then 40% of the
+    /// survivors).
+    Crash,
+}
+
+impl E13Intensity {
+    fn label(self) -> &'static str {
+        match self {
+            E13Intensity::None => "none",
+            E13Intensity::Transient => "transient",
+            E13Intensity::Stalls => "stalls",
+            E13Intensity::Crash => "crash",
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            E13Intensity::None => 0,
+            E13Intensity::Transient => 1,
+            E13Intensity::Stalls => 2,
+            E13Intensity::Crash => 3,
+        }
+    }
+
+    /// Declarative fault schedule of this level (empty for `None`).
+    fn specs(self) -> Vec<FaultSpec> {
+        let mut specs = Vec::new();
+        if self.rank() >= 1 {
+            specs.push(FaultSpec::LinkDegradation {
+                start_slot: E13_FAULT_START,
+                duration_slots: E13_FADE_SLOTS,
+                factor: 0.5,
+            });
+            specs.push(
+                corruption_burst(
+                    &dms_media::ChannelModel::bursty_wireless(1),
+                    E13_FAULT_START,
+                    E13_FADE_SLOTS,
+                )
+                .expect("preset channel is valid"),
+            );
+        }
+        if self.rank() >= 2 {
+            for &start in &E13_STALL_STARTS {
+                specs.push(FaultSpec::SlotStalls {
+                    start_slot: start,
+                    duration_slots: E13_STALL_SLOTS,
+                });
+            }
+        }
+        if self.rank() >= 3 {
+            specs.push(FaultSpec::CrashBurst {
+                slot: E13_CRASH_SLOT,
+                fraction: 0.6,
+            });
+            specs.push(FaultSpec::CrashBurst {
+                slot: E13_CRASH_SLOT + 6,
+                fraction: 0.4,
+            });
+        }
+        specs
+    }
+
+    /// Slot the last fault of this level has passed by — where the
+    /// recovery clock starts.
+    fn fault_end(self) -> u64 {
+        match self {
+            E13Intensity::None => E13_FAULT_START,
+            E13Intensity::Transient => E13_FAULT_START + E13_FADE_SLOTS,
+            E13Intensity::Stalls => E13_STALL_STARTS[1] + E13_STALL_SLOTS,
+            E13Intensity::Crash => E13_CRASH_SLOT + 7,
+        }
+    }
+}
+
+/// One `(fault intensity, server arm)` point of the E13 resilience
+/// sweep. All points share one 0.8-load Poisson workload and (per
+/// intensity) one compiled fault plan, so every comparison is paired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E13Point {
+    /// Which faults strike.
+    pub intensity: E13Intensity,
+    /// Which server variant absorbs them.
+    pub arm: E12Arm,
+}
+
+impl E13Point {
+    /// Stable human-readable label (`crash-controlled`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.intensity.label(), self.arm.label())
+    }
+}
+
+/// Slots each E13 point simulates. Long enough that the fault block
+/// starts only after the session population has reached equilibrium
+/// (mean duration 150 slots → three time constants of warm-up), so the
+/// pre-fault window measures steady state, not the arrival ramp.
+const E13_SLOTS: u64 = 900;
+/// Offered load of the sweep. E13 probes *resilience*, not overload
+/// (E12 owns the overload axis): below capacity every arm delivers
+/// full utility in steady state, so any post-fault deficit is the
+/// fault's doing — and losing sessions cannot masquerade as congestion
+/// relief, which it does at load ≥ 1.
+const E13_LOAD: f64 = 0.8;
+/// One shared workload seed: every point serves the same arrivals.
+const E13_WORKLOAD_SEED: u64 = 1304;
+/// One shared plan seed: every arm of an intensity sees the same
+/// compiled fault schedule.
+const E13_PLAN_SEED: u64 = 1313;
+/// First faulted slot (fade + corruption onset).
+const E13_FAULT_START: u64 = 450;
+/// Length of the fade/corruption window.
+const E13_FADE_SLOTS: u64 = 60;
+/// Onsets of the two server stalls (`Stalls` intensity and up).
+const E13_STALL_STARTS: [u64; 2] = [536, 566];
+/// Length of each stall: deliberately shorter than the recovery
+/// policy's 8-miss timeout, so stalls exercise stall *detection* and
+/// capacity re-estimation rather than mass session timeout.
+const E13_STALL_SLOTS: u64 = 6;
+/// Slot of the first crash burst.
+const E13_CRASH_SLOT: u64 = 630;
+/// Pre-fault utility window (steady state, before any fault).
+const E13_PRE_WINDOW: (u64, u64) = (350, E13_FAULT_START);
+/// Post-fault utility window: past the last fault plus the controlled
+/// arm's full backoff horizon, so "recovered" means *stays* recovered.
+const E13_POST_WINDOW: (u64, u64) = (670, E13_SLOTS);
+
+/// The full E13 sweep grid: four fault intensities, all three arms.
+#[must_use]
+pub fn e13_points() -> Vec<E13Point> {
+    let mut points = Vec::new();
+    for &intensity in &[
+        E13Intensity::None,
+        E13Intensity::Transient,
+        E13Intensity::Stalls,
+        E13Intensity::Crash,
+    ] {
+        for &arm in &[
+            E12Arm::Uncontrolled,
+            E12Arm::DegradeOnly,
+            E12Arm::Controlled,
+        ] {
+            points.push(E13Point { intensity, arm });
+        }
+    }
+    points
+}
+
+/// Runs one E13 point. The workload seed is shared by *all* points and
+/// the plan seed by all arms of an intensity, so the sweep compares
+/// arms on identical arrivals under identical fault schedules.
+#[must_use]
+pub fn e13_run_point(point: E13Point) -> FaultReport {
+    e13_run_point_instrumented(point, None)
+}
+
+/// [`e13_run_point`] with an optional per-slot metrics sink attached.
+#[must_use]
+pub fn e13_run_point_instrumented(
+    point: E13Point,
+    sink: Option<&mut ServeMetricsSink>,
+) -> FaultReport {
+    let mut template = SessionTemplate::streaming_default().expect("preset valid");
+    template.mean_duration_slots = E12_DURATION_SLOTS;
+    let capacity = CapacityModel {
+        link_bits_per_slot: E12_SESSIONS * template.full_bits(),
+        queue_frames: 64,
+        occupancy_bound: 8.0,
+    };
+    let rate = rate_for_load(E13_LOAD, &template, capacity.link_bits_per_slot);
+    let workload = Workload::generate(
+        ArrivalProcess::Poisson { rate },
+        template,
+        E13_SLOTS,
+        E13_WORKLOAD_SEED,
+    )
+    .expect("valid workload");
+    let plan = FaultPlan::compile(&point.intensity.specs(), E13_SLOTS, E13_PLAN_SEED)
+        .expect("grid specs are valid");
+    let (policy, degrade, recovery) = match point.arm {
+        E12Arm::Uncontrolled => (AdmissionPolicy::AdmitAll, None, None),
+        E12Arm::DegradeOnly => (
+            AdmissionPolicy::AdmitAll,
+            Some(DegradeConfig::default()),
+            None,
+        ),
+        E12Arm::Controlled => (
+            AdmissionPolicy::QueuePredictor,
+            Some(DegradeConfig::default()),
+            Some(RecoveryConfig::default()),
+        ),
+    };
+    let server = ServerSim::new(ServerConfig {
+        capacity,
+        policy,
+        degrade,
+        buffer_slots: 4,
+        miss_slots: 2,
+    })
+    .expect("valid config");
+    server
+        .run_faulted(&workload, &plan, recovery.as_ref(), sink)
+        .expect("valid template")
+}
+
+/// Mean of `series` over slot window `[from, to)`.
+fn window_mean(series: &[f64], (from, to): (u64, u64)) -> f64 {
+    let from = from as usize;
+    let to = (to as usize).min(series.len());
+    if to <= from {
+        return 0.0;
+    }
+    series[from..to].iter().sum::<f64>() / (to - from) as f64
+}
+
+/// Delivered-utility recovery of one instrumented E13 run: post-fault
+/// window mean over pre-fault window mean of the per-slot utility sum.
+#[must_use]
+pub fn e13_recovered_fraction(sink: &ServeMetricsSink) -> f64 {
+    let pre = window_mean(sink.utility(), E13_PRE_WINDOW);
+    if pre <= 0.0 {
+        return 0.0;
+    }
+    window_mean(sink.utility(), E13_POST_WINDOW) / pre
+}
+
+/// Recovery time: slots after the intensity's last fault until the
+/// trailing 20-slot mean of delivered utility first reaches 90% of its
+/// pre-fault mean. `None` if the run never gets back inside the band.
+#[must_use]
+pub fn e13_recovery_slots(sink: &ServeMetricsSink, intensity: E13Intensity) -> Option<u64> {
+    const SMOOTH: usize = 20;
+    let series = sink.utility();
+    let pre = window_mean(sink.utility(), E13_PRE_WINDOW);
+    if pre <= 0.0 {
+        return None;
+    }
+    let start = intensity.fault_end() as usize;
+    for end in (start + SMOOTH)..=series.len() {
+        let mean = series[end - SMOOTH..end].iter().sum::<f64>() / SMOOTH as f64;
+        if mean >= 0.9 * pre {
+            return Some(end as u64 - intensity.fault_end());
+        }
+    }
+    None
+}
+
+/// Builds the full E13 run-log: per-point fault/recovery counters and
+/// recovery gauges for all 12 points, plus complete per-slot series
+/// for the crash-intensity points (the recovery-curve headline).
+///
+/// Points shard across [`ParRunner`] with per-shard registries merged
+/// in job order, so the log is byte-identical at any `DMS_THREADS`.
+#[must_use]
+pub fn e13_run_log() -> RunLog {
+    let points = e13_points();
+    let results = ParRunner::new().map(&points, |&point| {
+        let mut sink = ServeMetricsSink::with_capacity(E13_SLOTS as usize);
+        let report = e13_run_point_instrumented(point, Some(&mut sink));
+        let mut registry = MetricsRegistry::new();
+        let scope = format!("e13/{}", point.label());
+        {
+            let mut s = registry.scoped(&scope);
+            s.counter_add("offered", report.base.offered);
+            s.counter_add("admitted", report.base.admitted);
+            s.counter_add("rejected", report.base.rejected);
+            s.counter_add("deadline_misses", report.base.deadline_misses);
+            s.counter_add("delivered_bits", report.base.delivered_bits);
+            s.counter_add("enqueued_bits", sink.enqueued_bits());
+            s.counter_add("crashed", report.crashed);
+            s.counter_add("timed_out", report.timed_out);
+            s.counter_add("retries", report.retries);
+            s.counter_add("readmitted", report.readmitted);
+            s.counter_add("retry_rejected", report.retry_rejected);
+            s.counter_add("lost_to_fault_bits", report.lost_to_fault_bits);
+            s.counter_add("stall_slots", report.stall_slots);
+            s.counter_add("stalls_detected", report.stalls_detected);
+            s.counter_add("capacity_reestimates", report.capacity_reestimates);
+            s.counter_add("degraded_slots", report.degraded_slots);
+            s.gauge_set("miss_rate", report.base.miss_rate());
+            s.gauge_set("mean_utility", report.base.mean_utility());
+            s.gauge_set("recovered_fraction", e13_recovered_fraction(&sink));
+        }
+        if point.intensity == E13Intensity::Crash {
+            sink.export(&mut registry, &format!("{scope}/series"));
+        }
+        let recovered = e13_recovered_fraction(&sink);
+        let recovery_slots = e13_recovery_slots(&sink, point.intensity);
+        (report, recovered, recovery_slots, registry)
+    });
+    let mut log = RunLog::new();
+    log.set_meta("experiment", "E13");
+    log.set_meta("slots", E13_SLOTS.to_string());
+    log.set_meta("capacity_sessions", E12_SESSIONS.to_string());
+    log.set_meta(
+        "backoff_horizon_slots",
+        RecoveryConfig::default()
+            .backoff_horizon_slots()
+            .to_string(),
+    );
+    for (point, (report, recovered, recovery_slots, registry)) in points.iter().zip(&results) {
+        log.registry_mut().merge(registry);
+        let mut record = RunRecord::new("e13-point")
+            .with("label", point.label())
+            .with("intensity", point.intensity.label())
+            .with("arm", point.arm.label())
+            .with("miss_rate", report.base.miss_rate())
+            .with("mean_utility", report.base.mean_utility())
+            .with("recovered_fraction", *recovered)
+            .with("crashed", report.crashed)
+            .with("readmitted", report.readmitted)
+            .with("lost_to_fault_bits", report.lost_to_fault_bits);
+        if let Some(slots) = recovery_slots {
+            record = record.with("recovery_slots", *slots);
+        }
+        log.push(record);
+    }
+    log
+}
+
+/// E13 — the streaming server under a fault-intensity sweep: fault
+/// injection (link fades, corruption bursts, stalls, crash bursts)
+/// against the uncontrolled / degrade-only / controlled arms, measuring
+/// delivered-utility recovery and recovery time.
+#[must_use]
+pub fn e13_resilience() -> Experiment {
+    let points = e13_points();
+    let results = ParRunner::new().map(&points, |&point| {
+        let mut sink = ServeMetricsSink::with_capacity(E13_SLOTS as usize);
+        let report = e13_run_point_instrumented(point, Some(&mut sink));
+        (
+            report,
+            e13_recovered_fraction(&sink),
+            e13_recovery_slots(&sink, point.intensity),
+        )
+    });
+    let find = |intensity: E13Intensity, arm: E12Arm| {
+        let want = E13Point { intensity, arm };
+        points
+            .iter()
+            .position(|p| *p == want)
+            .map(|i| &results[i])
+            .expect("point is on the grid")
+    };
+    let mut rows = Vec::new();
+    for &intensity in &[
+        E13Intensity::Transient,
+        E13Intensity::Stalls,
+        E13Intensity::Crash,
+    ] {
+        let unc = find(intensity, E12Arm::Uncontrolled);
+        let shed = find(intensity, E12Arm::DegradeOnly);
+        let ctl = find(intensity, E12Arm::Controlled);
+        rows.push(Row::new(
+            format!(
+                "{}: recovered utility (uncontrolled / degrade-only / controlled)",
+                intensity.label()
+            ),
+            "controlled >= 80% of pre-fault",
+            format!(
+                "{:.0}% / {:.0}% / {:.0}%",
+                unc.1 * 100.0,
+                shed.1 * 100.0,
+                ctl.1 * 100.0
+            ),
+        ));
+    }
+    let fmt_recovery = |r: &(FaultReport, f64, Option<u64>)| match r.2 {
+        Some(slots) => format!("{slots}"),
+        None => "never".to_string(),
+    };
+    let unc = find(E13Intensity::Crash, E12Arm::Uncontrolled);
+    let shed = find(E13Intensity::Crash, E12Arm::DegradeOnly);
+    let ctl = find(E13Intensity::Crash, E12Arm::Controlled);
+    rows.push(Row::new(
+        "crash: recovery time to 90% of pre-fault utility, slots",
+        "retry+backoff recovers within the backoff horizon; no-retry waits for session turnover",
+        format!(
+            "{} / {} / {} (backoff horizon {})",
+            fmt_recovery(unc),
+            fmt_recovery(shed),
+            fmt_recovery(ctl),
+            RecoveryConfig::default().backoff_horizon_slots()
+        ),
+    ));
+    rows.push(Row::new(
+        "crash: victims retried / readmitted (controlled)",
+        "crashed sessions come back instead of being lost",
+        format!(
+            "{} crashed, {} retries, {} readmitted",
+            ctl.0.crashed, ctl.0.retries, ctl.0.readmitted
+        ),
+    ));
+    let stalls_ctl = find(E13Intensity::Stalls, E12Arm::Controlled);
+    rows.push(Row::new(
+        "stalls: detected / capacity re-estimates (controlled)",
+        "multiplexer flags stalls and admission re-plans",
+        format!(
+            "{} stall slots, {} episodes detected, {} re-estimates",
+            stalls_ctl.0.stall_slots,
+            stalls_ctl.0.stalls_detected,
+            stalls_ctl.0.capacity_reestimates
+        ),
+    ));
+    rows.push(Row::new(
+        "crash: bits lost to faults (uncontrolled vs controlled)",
+        "reservations released, nothing leaks",
+        format!(
+            "{} vs {} bits",
+            unc.0.lost_to_fault_bits, ctl.0.lost_to_fault_bits
+        ),
+    ));
+    Experiment {
+        id: "E13",
+        title: "Resilience: fault injection + recovery on the streaming server (S5, Fig. 1)",
         rows,
     }
 }
@@ -1088,7 +1532,7 @@ pub fn x4_arq_packet_size() -> Experiment {
 /// (`DMS_THREADS=1` forces that loop back).
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {
-    const EXPERIMENTS: [fn() -> Experiment; 18] = [
+    const EXPERIMENTS: [fn() -> Experiment; 19] = [
         fig1_stream,
         fig2_design_flow,
         e1_asip_speedup,
@@ -1103,6 +1547,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         e10_steady_state,
         e11_ambient,
         e12_server_load,
+        e13_resilience,
         x1_lip_sync,
         x2_ctmc_transient,
         x3_mapped_validation,
@@ -1136,9 +1581,10 @@ mod tests {
         let json = log.to_json_string();
         for row in &exp.rows {
             assert!(
-                log.records()
+                log.records().iter().any(|r| r
+                    .fields()
                     .iter()
-                    .any(|r| r.fields().iter().any(|(k, v)| k == "metric"
+                    .any(|(k, v)| k == "metric"
                         && *v == dms_sim::JsonValue::from(row.metric.as_str()))),
                 "row {} missing from run-log",
                 row.metric
@@ -1212,6 +1658,39 @@ mod tests {
                 ctl.miss_rate()
             );
         }
+
+        // E13: after the correlated crash bursts the controlled arm
+        // (retry + backoff readmission) recovers >= 80% of pre-fault
+        // delivered utility while the arms without recovery do not —
+        // they refill crashed sessions only by new arrivals.
+        let run = |arm| {
+            let mut sink = ServeMetricsSink::with_capacity(E13_SLOTS as usize);
+            let report = e13_run_point_instrumented(
+                E13Point {
+                    intensity: E13Intensity::Crash,
+                    arm,
+                },
+                Some(&mut sink),
+            );
+            (report, e13_recovered_fraction(&sink))
+        };
+        let (ctl, ctl_rf) = run(E12Arm::Controlled);
+        let (unc, unc_rf) = run(E12Arm::Uncontrolled);
+        assert!(
+            ctl_rf >= 0.8,
+            "E13: controlled recovered fraction {ctl_rf} < 0.8"
+        );
+        assert!(
+            unc_rf < 0.8,
+            "E13: uncontrolled recovered fraction {unc_rf} not below 0.8"
+        );
+        assert!(
+            ctl.readmitted * 10 >= ctl.crashed * 9,
+            "E13: too few crash victims readmitted ({} crashed, {} readmitted)",
+            ctl.crashed,
+            ctl.readmitted
+        );
+        assert_eq!(unc.retries, 0, "uncontrolled arm must not retry");
 
         // E9: battery-cost routing improves lifetime by >20%.
         let e9 = e9_manet_routing();

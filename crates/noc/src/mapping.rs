@@ -466,10 +466,7 @@ impl Mapper {
         });
         chains
             .into_iter()
-            .min_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .expect("at least one restart")
             .0
     }
@@ -839,7 +836,10 @@ mod tests {
         assert_eq!(parallel, sequential_best);
         let single = m.energy(&m.simulated_annealing(11)).expect("valid");
         let multi = m.energy(&parallel).expect("valid");
-        assert!(multi <= single + 1e-9, "restarts regressed: {multi} > {single}");
+        assert!(
+            multi <= single + 1e-9,
+            "restarts regressed: {multi} > {single}"
+        );
     }
 
     #[test]

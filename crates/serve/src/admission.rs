@@ -73,6 +73,11 @@ pub struct AdmissionController {
     policy: AdmissionPolicy,
     /// Reference frame size used to convert bits to "frames", bits.
     frame_bits: u64,
+    /// Capacity the predictor currently believes in, bits per slot.
+    /// Starts at the nominal `model.link_bits_per_slot`; fault-aware
+    /// runs lower it via [`AdmissionController::set_effective_capacity`]
+    /// so admission re-plans against what the link actually delivers.
+    effective_bits: u64,
     admitted: u64,
     rejected: u64,
 }
@@ -97,6 +102,7 @@ impl AdmissionController {
             model,
             policy,
             frame_bits,
+            effective_bits: model.link_bits_per_slot,
             admitted: 0,
             rejected: 0,
         })
@@ -108,6 +114,21 @@ impl AdmissionController {
         &self.model
     }
 
+    /// The capacity the predictor currently plans against, bits/slot.
+    #[must_use]
+    pub fn effective_capacity(&self) -> u64 {
+        self.effective_bits
+    }
+
+    /// Re-estimates the capacity the predictor plans against (the
+    /// multiplexer's measured service rate under faults). A zero
+    /// estimate fails closed: the predictor saturates and the
+    /// `QueuePredictor` policy rejects everything until capacity
+    /// returns.
+    pub fn set_effective_capacity(&mut self, bits_per_slot: u64) {
+        self.effective_bits = bits_per_slot;
+    }
+
     /// Predicted mean queue occupancy (frames) if the admitted set
     /// demands `demand_bits` per slot in aggregate. Zero demand means
     /// an empty queue; demand is otherwise fed to the M/M/1/K formulas
@@ -117,7 +138,7 @@ impl AdmissionController {
         if demand_bits == 0 {
             return 0.0;
         }
-        let mu = self.model.link_bits_per_slot as f64 / self.frame_bits as f64;
+        let mu = self.effective_bits as f64 / self.frame_bits as f64;
         let lambda = demand_bits as f64 / self.frame_bits as f64;
         MM1KQueue::new(lambda, mu, self.model.queue_frames)
             .map(|q| q.mean_queue_length())
@@ -126,17 +147,26 @@ impl AdmissionController {
             .unwrap_or(f64::from(self.model.queue_frames))
     }
 
+    /// The admission predicate without the bookkeeping: would a
+    /// candidate demanding `candidate_bits` join a set already
+    /// demanding `active_bits`? Used for *re*-admissions (session
+    /// retries after a crash), which must not perturb the
+    /// first-offer `admitted + rejected == offered` ledger.
+    #[must_use]
+    pub fn would_admit(&self, active_bits: u64, candidate_bits: u64) -> bool {
+        match self.policy {
+            AdmissionPolicy::AdmitAll => true,
+            AdmissionPolicy::QueuePredictor => {
+                self.predicted_occupancy(active_bits + candidate_bits) <= self.model.occupancy_bound
+            }
+        }
+    }
+
     /// Decides whether a candidate with full-quality demand
     /// `candidate_bits` joins a set already demanding `active_bits` per
     /// slot, and records the outcome.
     pub fn decide(&mut self, active_bits: u64, candidate_bits: u64) -> bool {
-        let admit = match self.policy {
-            AdmissionPolicy::AdmitAll => true,
-            AdmissionPolicy::QueuePredictor => {
-                self.predicted_occupancy(active_bits + candidate_bits)
-                    <= self.model.occupancy_bound
-            }
-        };
+        let admit = self.would_admit(active_bits, candidate_bits);
         if admit {
             self.admitted += 1;
         } else {
@@ -217,6 +247,39 @@ mod tests {
             assert!(occ <= f64::from(c.model().queue_frames));
             last = occ;
         }
+    }
+
+    #[test]
+    fn would_admit_matches_decide_without_bookkeeping() {
+        let mut c = AdmissionController::new(model(), AdmissionPolicy::QueuePredictor, 1_000)
+            .expect("valid");
+        for active in [0u64, 49_000, 150_000, 300_000] {
+            let preview = c.would_admit(active, 1_000);
+            assert_eq!(preview, c.decide(active, 1_000));
+        }
+        assert_eq!(c.admitted() + c.rejected(), 4, "only decide() records");
+    }
+
+    #[test]
+    fn capacity_reestimate_shifts_the_predictor() {
+        let mut c = AdmissionController::new(model(), AdmissionPolicy::QueuePredictor, 1_000)
+            .expect("valid");
+        assert_eq!(c.effective_capacity(), 100_000);
+        assert!(c.would_admit(49_000, 1_000));
+        // Halve the believed capacity: the same set now looks saturated.
+        c.set_effective_capacity(50_000);
+        assert_eq!(c.effective_capacity(), 50_000);
+        assert!(!c.would_admit(49_000, 1_000));
+        // Zero capacity fails closed — predictor pegs at K, rejects all.
+        c.set_effective_capacity(0);
+        assert_eq!(
+            c.predicted_occupancy(1_000),
+            f64::from(c.model().queue_frames)
+        );
+        assert!(!c.would_admit(0, 1_000));
+        // Restoring the nominal capacity restores the decision.
+        c.set_effective_capacity(c.model().link_bits_per_slot);
+        assert!(c.would_admit(49_000, 1_000));
     }
 
     #[test]

@@ -104,7 +104,12 @@ impl LayerController {
     /// converges to the deepest cut that relieves the link instead of
     /// flapping), restoring additionally waits for the backlog to
     /// drain.
-    pub fn observe(&mut self, full_demand_bits: u64, capacity_bits: u64, backlog_bits: u64) -> usize {
+    pub fn observe(
+        &mut self,
+        full_demand_bits: u64,
+        capacity_bits: u64,
+        backlog_bits: u64,
+    ) -> usize {
         let util = full_demand_bits as f64 / capacity_bits.max(1) as f64;
         if util > self.config.shed_above {
             // One plane per slot: sheds within BIT_PLANES slots of a

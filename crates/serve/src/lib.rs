@@ -15,7 +15,12 @@
 //! * [`session`] — the slotted multiplexer: FIFO event drains, max-min
 //!   fair link sharing, playout buffers and deadline accounting;
 //! * [`degrade`] — server-wide FGS layer shedding with hysteresis, the
-//!   knob that turns the overload cliff into a utility slope.
+//!   knob that turns the overload cliff into a utility slope;
+//! * [`faults`] — the recovery policy (retry with exponential backoff,
+//!   playout-deadline timeouts, stall detection, capacity
+//!   re-estimation) a server runs faulted workloads under, paired with
+//!   [`dms_sim::FaultPlan`] schedules via
+//!   [`session::ServerSim::run_faulted`].
 //!
 //! Experiment E12 (`dms-bench`) sweeps offered load across 0.5–1.5× the
 //! link capacity under both arrival processes to show (a) analytical
@@ -60,6 +65,7 @@
 pub mod admission;
 pub mod degrade;
 pub mod error;
+pub mod faults;
 pub mod metrics;
 pub mod session;
 pub mod workload;
@@ -67,6 +73,7 @@ pub mod workload;
 pub use admission::{AdmissionController, AdmissionPolicy, CapacityModel};
 pub use degrade::{DegradeConfig, LayerController};
 pub use error::ServeError;
+pub use faults::{corruption_burst, FaultReport, RecoveryConfig};
 pub use metrics::ServeMetricsSink;
 pub use session::{ServerConfig, ServerReport, ServerSim};
 pub use workload::{rate_for_load, ArrivalProcess, SessionRequest, SessionTemplate, Workload};

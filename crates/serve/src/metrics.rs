@@ -23,6 +23,7 @@ pub struct ServeMetricsSink {
     backlog_bits: Vec<u64>,
     layer_cap: Vec<u64>,
     deadline_misses: Vec<u64>,
+    utility: Vec<f64>,
     enqueued_bits: u64,
 }
 
@@ -42,11 +43,13 @@ impl ServeMetricsSink {
             backlog_bits: Vec::with_capacity(slots),
             layer_cap: Vec::with_capacity(slots),
             deadline_misses: Vec::with_capacity(slots),
+            utility: Vec::with_capacity(slots),
             enqueued_bits: 0,
         }
     }
 
     /// Appends one slot's sample to every series.
+    #[allow(clippy::too_many_arguments)] // one argument per recorded signal
     pub fn record_slot(
         &mut self,
         admitted: u64,
@@ -54,6 +57,7 @@ impl ServeMetricsSink {
         backlog_bits: u64,
         layer_cap: u64,
         deadline_misses: u64,
+        utility: f64,
         enqueued_bits: u64,
     ) {
         self.admitted.push(admitted);
@@ -61,6 +65,7 @@ impl ServeMetricsSink {
         self.backlog_bits.push(backlog_bits);
         self.layer_cap.push(layer_cap);
         self.deadline_misses.push(deadline_misses);
+        self.utility.push(utility);
         self.enqueued_bits += enqueued_bits;
     }
 
@@ -100,6 +105,13 @@ impl ServeMetricsSink {
         &self.deadline_misses
     }
 
+    /// Utility summed over the sessions served in each slot — the
+    /// signal the E13 resilience sweep reads recovery curves from.
+    #[must_use]
+    pub fn utility(&self) -> &[f64] {
+        &self.utility
+    }
+
     /// Total bits enqueued into playout buffers before capping — the
     /// denominator of the `delivered + dropped + purged ≤ enqueued`
     /// conservation invariant.
@@ -110,8 +122,8 @@ impl ServeMetricsSink {
 
     /// Publishes the captured series into `registry` under `scope`
     /// (series `scope/admitted`, `scope/active`, `scope/backlog_bits`,
-    /// `scope/layer_cap`, `scope/deadline_misses` and counter
-    /// `scope/enqueued_bits`).
+    /// `scope/layer_cap`, `scope/deadline_misses`, `scope/utility` and
+    /// counter `scope/enqueued_bits`).
     pub fn export(&self, registry: &mut MetricsRegistry, scope: &str) {
         let mut scoped = registry.scoped(scope);
         scoped.series_extend("admitted", self.admitted.iter().map(|&v| v as f64));
@@ -122,6 +134,7 @@ impl ServeMetricsSink {
             "deadline_misses",
             self.deadline_misses.iter().map(|&v| v as f64),
         );
+        scoped.series_extend("utility", self.utility.iter().copied());
         scoped.counter_add("enqueued_bits", self.enqueued_bits);
     }
 }
@@ -133,21 +146,23 @@ mod tests {
     #[test]
     fn sink_records_and_exports() {
         let mut sink = ServeMetricsSink::with_capacity(2);
-        sink.record_slot(1, 3, 4096, 2, 0, 8192);
-        sink.record_slot(0, 2, 2048, 3, 1, 6144);
+        sink.record_slot(1, 3, 4096, 2, 0, 2.75, 8192);
+        sink.record_slot(0, 2, 2048, 3, 1, 1.5, 6144);
         assert_eq!(sink.slots(), 2);
         assert_eq!(sink.admitted(), &[1, 0]);
         assert_eq!(sink.active(), &[3, 2]);
         assert_eq!(sink.backlog_bits(), &[4096, 2048]);
         assert_eq!(sink.layer_cap(), &[2, 3]);
         assert_eq!(sink.deadline_misses(), &[0, 1]);
+        assert_eq!(sink.utility(), &[2.75, 1.5]);
         assert_eq!(sink.enqueued_bits(), 14_336);
 
         let mut registry = MetricsRegistry::new();
         sink.export(&mut registry, "server");
         assert_eq!(registry.series("server/active"), &[3.0, 2.0]);
         assert_eq!(registry.series("server/backlog_bits"), &[4096.0, 2048.0]);
+        assert_eq!(registry.series("server/utility"), &[2.75, 1.5]);
         assert_eq!(registry.counter("server/enqueued_bits"), 14_336);
-        assert_eq!(registry.len(), 6);
+        assert_eq!(registry.len(), 7);
     }
 }

@@ -18,12 +18,13 @@
 //! [`dms_sim::ParRunner`] and still diff byte-for-byte against a
 //! single-threaded run.
 
-use dms_sim::{EventQueue, SimTime};
+use dms_sim::{EventQueue, FaultEvent, FaultPlan, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::admission::{AdmissionController, AdmissionPolicy, CapacityModel};
 use crate::degrade::{DegradeConfig, LayerController};
 use crate::error::ServeError;
+use crate::faults::{FaultReport, RecoveryConfig};
 use crate::metrics::ServeMetricsSink;
 use crate::workload::Workload;
 
@@ -158,13 +159,34 @@ impl ServerReport {
 enum ServerEvent {
     /// Index into `workload.sessions`.
     Arrive(usize),
-    /// Session id to deactivate.
+    /// Activation to deactivate (see [`ActiveSession::act`]).
     Depart(u64),
+    /// A crashed or timed-out session re-offering itself after backoff.
+    Retry {
+        /// Index into `workload.sessions`.
+        idx: usize,
+        /// Retry attempts consumed before this one fires.
+        attempt: u32,
+        /// Service slots the session still wants.
+        remaining: u64,
+    },
 }
 
 #[derive(Debug)]
 struct ActiveSession {
     id: u64,
+    /// Activation id, unique per (re)admission: a `Depart` scheduled
+    /// for a crashed activation must not kill the session's retried
+    /// successor, so departures match on `act`, not `id`.
+    act: u64,
+    /// Index into `workload.sessions`, for scheduling retries.
+    idx: usize,
+    /// Slot this activation departs at.
+    depart_slot: u64,
+    /// Consecutive deadline-missed slots (playout-timeout trigger).
+    consecutive_misses: u64,
+    /// Retry attempts consumed to reach this activation.
+    attempt: u32,
     backlog_bits: u64,
 }
 
@@ -207,6 +229,42 @@ impl ServerSim {
         self.run_instrumented(workload, None)
     }
 
+    /// Runs `workload` under a compiled [`FaultPlan`]: link-rate
+    /// degradation windows scale the slot capacity, slot stalls zero
+    /// it, corruption bursts lose a fraction of each slot's grants in
+    /// flight, and crash bursts abort active sessions (releasing their
+    /// buffer reservations into `lost_to_fault_bits` — nothing leaks).
+    ///
+    /// With `Some(recovery)` the server additionally *recovers*:
+    /// crashed and playout-timed-out sessions retry admission with
+    /// exponential backoff, the multiplexer detects stalls, and
+    /// admission control re-plans against the measured effective
+    /// capacity whenever the link is not keeping up. With `None` the
+    /// faults land on the nominal server (the uncontrolled arm of
+    /// experiment E13).
+    ///
+    /// An empty plan reproduces [`ServerSim::run`] exactly — the fault
+    /// path adds no randomness (the plan pre-compiled all of it), so
+    /// faulted runs shard across `dms_sim::ParRunner` byte-identically
+    /// just like nominal ones.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServerSim::run`]; additionally propagates
+    /// [`RecoveryConfig::validate`] failures.
+    pub fn run_faulted(
+        &self,
+        workload: &Workload,
+        faults: &FaultPlan,
+        recovery: Option<&RecoveryConfig>,
+        sink: Option<&mut ServeMetricsSink>,
+    ) -> Result<FaultReport, ServeError> {
+        if let Some(rec) = recovery {
+            rec.validate()?;
+        }
+        self.run_core(workload, Some(faults), recovery, sink)
+    }
+
     /// [`ServerSim::run`] with an optional per-slot metrics sink.
     ///
     /// With `Some(sink)`, one sample per slot of admissions / active
@@ -221,36 +279,118 @@ impl ServerSim {
     pub fn run_instrumented(
         &self,
         workload: &Workload,
-        mut sink: Option<&mut ServeMetricsSink>,
+        sink: Option<&mut ServeMetricsSink>,
     ) -> Result<ServerReport, ServeError> {
+        Ok(self.run_core(workload, None, None, sink)?.base)
+    }
+
+    /// The one slotted server loop every public runner delegates to.
+    ///
+    /// `faults: None` takes the exact nominal path (fault state pinned
+    /// at "no fault", zero extra arithmetic on the served bits), so
+    /// [`ServerSim::run`] results are bit-identical to the pre-fault
+    /// implementation. The loop itself draws no randomness — all of it
+    /// lives pre-compiled inside the [`FaultPlan`] — which is what
+    /// keeps faulted runs deterministic at any `DMS_THREADS`.
+    #[allow(clippy::too_many_lines)] // one slot loop, kept linear for auditability
+    fn run_core(
+        &self,
+        workload: &Workload,
+        faults: Option<&FaultPlan>,
+        recovery: Option<&RecoveryConfig>,
+        mut sink: Option<&mut ServeMetricsSink>,
+    ) -> Result<FaultReport, ServeError> {
         let template = workload.template;
         template.validate()?;
         let cfg = &self.config;
         let full_bits = template.full_bits();
         let (buffer_bits, miss_bits) = cfg.validate_for(full_bits)?;
+        let nominal_bits = cfg.capacity.link_bits_per_slot;
 
         let mut admission = AdmissionController::new(cfg.capacity, cfg.policy, full_bits)?;
         let mut degrade = cfg.degrade.map(LayerController::new).transpose()?;
 
         let mut queue = EventQueue::with_capacity(workload.sessions.len() * 2);
         for (idx, s) in workload.sessions.iter().enumerate() {
-            queue.schedule(SimTime::from_ticks(s.arrival_slot), ServerEvent::Arrive(idx));
+            queue.schedule(
+                SimTime::from_ticks(s.arrival_slot),
+                ServerEvent::Arrive(idx),
+            );
         }
 
         let mut active: Vec<ActiveSession> = Vec::new();
         let mut due: Vec<ServerEvent> = Vec::new();
         let mut grants: Vec<u64> = Vec::new();
         let mut order: Vec<usize> = Vec::new();
-        let mut report = ServerReport {
-            offered: workload.sessions.len() as u64,
-            slots: workload.slots,
-            ..ServerReport::default()
+        let mut report = FaultReport {
+            base: ServerReport {
+                offered: workload.sessions.len() as u64,
+                slots: workload.slots,
+                ..ServerReport::default()
+            },
+            ..FaultReport::default()
         };
+
+        // Fault state. The plan's events are walked with a cursor, not
+        // spliced into `queue`, so the arrival/departure FIFO order
+        // within a slot is untouched by fault injection.
+        let fault_events = faults.map_or(&[][..], FaultPlan::events);
+        let mut fault_cursor = 0usize;
+        let mut link_factor = 1.0f64;
+        let mut next_act = 0u64;
+        let mut stall_streak = 0u64;
 
         for slot in 0..workload.slots {
             let now = SimTime::from_ticks(slot);
             let admitted_before = admission.admitted();
-            let misses_before = report.deadline_misses;
+            let misses_before = report.base.deadline_misses;
+            let utility_before = report.base.utility_sum;
+
+            // 1. Apply this slot's scheduled faults, in plan order.
+            //    Crashes strike the sessions active at the slot edge —
+            //    newest first, they hold the freshest reservations.
+            let mut stalled = false;
+            let mut corrupt_loss = 0.0f64;
+            while fault_cursor < fault_events.len() && fault_events[fault_cursor].slot <= slot {
+                match fault_events[fault_cursor].event {
+                    FaultEvent::LinkRate { factor } => link_factor = factor,
+                    FaultEvent::LinkRestore => link_factor = 1.0,
+                    FaultEvent::SlotStall => stalled = true,
+                    FaultEvent::Corrupt { loss } => corrupt_loss = loss,
+                    FaultEvent::SessionCrash { fraction } => {
+                        let victims =
+                            ((active.len() as f64 * fraction).ceil() as usize).min(active.len());
+                        for victim in active.drain(active.len() - victims..) {
+                            report.crashed += 1;
+                            report.lost_to_fault_bits += victim.backlog_bits;
+                            if let Some(rec) = recovery {
+                                let remaining = victim.depart_slot.saturating_sub(slot);
+                                if victim.attempt < rec.max_retries && remaining > 0 {
+                                    report.retries += 1;
+                                    queue.schedule(
+                                        SimTime::from_ticks(
+                                            slot.saturating_add(rec.backoff_slots(victim.attempt)),
+                                        ),
+                                        ServerEvent::Retry {
+                                            idx: victim.idx,
+                                            attempt: victim.attempt,
+                                            remaining,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // Component faults belong to population consumers
+                    // (the E11 sensor census); the server has none.
+                    FaultEvent::ComponentDown { .. } | FaultEvent::ComponentUp { .. } => {}
+                }
+                fault_cursor += 1;
+            }
+
+            // 2. Drain due arrivals / departures / retries (FIFO within
+            //    the slot; retries were scheduled after arrivals, so
+            //    fresh offers keep their admission priority).
             due.clear();
             due.extend(queue.drain_ready(now).map(|ev| ev.payload));
             for &ev in &due {
@@ -259,39 +399,105 @@ impl ServerSim {
                         let req = workload.sessions[idx];
                         let active_bits = active.len() as u64 * full_bits;
                         if admission.decide(active_bits, full_bits) {
+                            let act = next_act;
+                            next_act += 1;
+                            let depart_slot = slot + req.duration_slots;
                             active.push(ActiveSession {
                                 id: req.id,
+                                act,
+                                idx,
+                                depart_slot,
+                                consecutive_misses: 0,
+                                attempt: 0,
                                 backlog_bits: 0,
                             });
                             queue.schedule(
-                                SimTime::from_ticks(slot + req.duration_slots),
-                                ServerEvent::Depart(req.id),
+                                SimTime::from_ticks(depart_slot),
+                                ServerEvent::Depart(act),
                             );
                         }
                     }
-                    ServerEvent::Depart(id) => active.retain(|s| s.id != id),
+                    ServerEvent::Depart(act) => active.retain(|s| s.act != act),
+                    ServerEvent::Retry {
+                        idx,
+                        attempt,
+                        remaining,
+                    } => {
+                        // Re-admissions preview the predicate without
+                        // recording: the `admitted + rejected == offered`
+                        // ledger counts each session's first offer once.
+                        let active_bits = active.len() as u64 * full_bits;
+                        if admission.would_admit(active_bits, full_bits) {
+                            report.readmitted += 1;
+                            let act = next_act;
+                            next_act += 1;
+                            let depart_slot = slot.saturating_add(remaining);
+                            active.push(ActiveSession {
+                                id: workload.sessions[idx].id,
+                                act,
+                                idx,
+                                depart_slot,
+                                consecutive_misses: 0,
+                                attempt: attempt + 1,
+                                backlog_bits: 0,
+                            });
+                            queue.schedule(
+                                SimTime::from_ticks(depart_slot),
+                                ServerEvent::Depart(act),
+                            );
+                        } else {
+                            report.retry_rejected += 1;
+                            if let Some(rec) = recovery {
+                                if attempt + 1 < rec.max_retries {
+                                    report.retries += 1;
+                                    queue.schedule(
+                                        SimTime::from_ticks(
+                                            slot.saturating_add(rec.backoff_slots(attempt + 1)),
+                                        ),
+                                        ServerEvent::Retry {
+                                            idx,
+                                            attempt: attempt + 1,
+                                            remaining,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
                 }
             }
 
             let full_demand = active.len() as u64 * full_bits;
-            report.predicted_occupancy += admission.predicted_occupancy(full_demand);
+            report.base.predicted_occupancy += admission.predicted_occupancy(full_demand);
+
+            // 3. This slot's effective capacity under the fault state.
+            let capacity_now = if stalled {
+                report.stall_slots += 1;
+                0
+            } else if link_factor >= 1.0 {
+                nominal_bits
+            } else {
+                report.degraded_slots += 1;
+                (nominal_bits as f64 * link_factor).round() as u64
+            };
 
             let carried: u64 = active.iter().map(|s| s.backlog_bits).sum();
             let layers = match degrade.as_mut() {
-                Some(ctl) => ctl.observe(full_demand, cfg.capacity.link_bits_per_slot, carried),
+                Some(ctl) => ctl.observe(full_demand, capacity_now, carried),
                 None => template.max_layers,
             };
-            report.mean_layers += layers.min(template.max_layers) as f64;
+            report.base.mean_layers += layers.min(template.max_layers) as f64;
 
             let demand = template.demand_bits(layers);
             let enqueued = demand * active.len() as u64;
             let mut backlog_after = 0u64;
+            let mut served = 0u64;
             if !active.is_empty() {
                 // Enqueue this slot's demand into each playout buffer.
                 for s in &mut active {
                     let want = s.backlog_bits + demand;
                     let capped = want.min(buffer_bits);
-                    report.buffer_dropped_bits += want - capped;
+                    report.base.buffer_dropped_bits += want - capped;
                     s.backlog_bits = capped;
                 }
 
@@ -304,7 +510,7 @@ impl ServerSim {
                 order.sort_by_key(|&i| (active[i].backlog_bits, active[i].id));
                 grants.clear();
                 grants.resize(active.len(), 0);
-                let mut remaining = cfg.capacity.link_bits_per_slot;
+                let mut remaining = capacity_now;
                 let mut left = order.len() as u64;
                 for &i in &order {
                     let share = remaining / left;
@@ -314,22 +520,91 @@ impl ServerSim {
                     left -= 1;
                 }
 
-                report.session_slots += active.len() as u64;
+                report.base.session_slots += active.len() as u64;
                 for (s, &grant) in active.iter_mut().zip(&grants) {
                     s.backlog_bits -= grant;
-                    report.delivered_bits += grant;
+                    served += grant;
+                    // In a corruption-burst slot, a fraction of the
+                    // transmitted bits is lost in flight: they leave the
+                    // buffer (the sender cannot tell) but never arrive.
+                    let corrupted = if corrupt_loss > 0.0 {
+                        ((grant as f64 * corrupt_loss).round() as u64).min(grant)
+                    } else {
+                        0
+                    };
+                    report.base.delivered_bits += grant - corrupted;
+                    report.lost_to_fault_bits += corrupted;
                     if s.backlog_bits > miss_bits {
                         // Too far behind the deadline: the client skips
                         // ahead, stale bits are worthless.
-                        report.deadline_misses += 1;
-                        report.purged_bits += s.backlog_bits - miss_bits;
+                        report.base.deadline_misses += 1;
+                        report.base.purged_bits += s.backlog_bits - miss_bits;
                         s.backlog_bits = miss_bits;
+                        s.consecutive_misses += 1;
                     } else {
-                        report.utility_sum += template.utility(grant.min(full_bits));
+                        s.consecutive_misses = 0;
+                        report.base.utility_sum +=
+                            template.utility((grant - corrupted).min(full_bits));
                     }
                     backlog_after += s.backlog_bits;
                 }
-                report.measured_occupancy += backlog_after as f64 / full_bits as f64;
+
+                // 4. Playout-deadline timeout: a session that missed its
+                //    deadline for a full timeout window aborts (the
+                //    client gave up) and retries after backoff.
+                if let Some(rec) = recovery {
+                    let mut i = 0;
+                    while i < active.len() {
+                        if active[i].consecutive_misses >= rec.timeout_miss_slots {
+                            let victim = active.remove(i);
+                            report.timed_out += 1;
+                            backlog_after -= victim.backlog_bits;
+                            report.lost_to_fault_bits += victim.backlog_bits;
+                            let remaining = victim.depart_slot.saturating_sub(slot + 1);
+                            if victim.attempt < rec.max_retries && remaining > 0 {
+                                report.retries += 1;
+                                queue.schedule(
+                                    SimTime::from_ticks(
+                                        slot.saturating_add(rec.backoff_slots(victim.attempt)),
+                                    ),
+                                    ServerEvent::Retry {
+                                        idx: victim.idx,
+                                        attempt: victim.attempt,
+                                        remaining,
+                                    },
+                                );
+                            }
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+
+                report.base.measured_occupancy += backlog_after as f64 / full_bits as f64;
+            }
+
+            // 5. Stall detection + capacity re-estimation (recovery
+            //    only): when the link is not keeping up, admission
+            //    control re-plans against what was actually served; a
+            //    zero estimate fails closed until service resumes.
+            if let Some(rec) = recovery {
+                if full_demand > 0 && served == 0 {
+                    stall_streak += 1;
+                    if stall_streak == rec.stall_window_slots {
+                        report.stalls_detected += 1;
+                    }
+                } else {
+                    stall_streak = 0;
+                }
+                let estimate = if backlog_after > 0 {
+                    served
+                } else {
+                    nominal_bits
+                };
+                if estimate != admission.effective_capacity() {
+                    admission.set_effective_capacity(estimate);
+                    report.capacity_reestimates += 1;
+                }
             }
 
             if let Some(s) = sink.as_deref_mut() {
@@ -338,18 +613,19 @@ impl ServerSim {
                     active.len() as u64,
                     backlog_after,
                     layers.min(template.max_layers) as u64,
-                    report.deadline_misses - misses_before,
+                    report.base.deadline_misses - misses_before,
+                    report.base.utility_sum - utility_before,
                     enqueued,
                 );
             }
         }
 
-        report.admitted = admission.admitted();
-        report.rejected = admission.rejected();
-        if report.slots > 0 {
-            report.predicted_occupancy /= report.slots as f64;
-            report.measured_occupancy /= report.slots as f64;
-            report.mean_layers /= report.slots as f64;
+        report.base.admitted = admission.admitted();
+        report.base.rejected = admission.rejected();
+        if report.base.slots > 0 {
+            report.base.predicted_occupancy /= report.base.slots as f64;
+            report.base.measured_occupancy /= report.base.slots as f64;
+            report.base.mean_layers /= report.base.slots as f64;
         }
         Ok(report)
     }
@@ -381,9 +657,12 @@ mod tests {
             cfg.degrade = None;
         }
         let rate = rate_for_load(load, &template, cfg.capacity.link_bits_per_slot);
-        let workload =
-            Workload::generate(ArrivalProcess::Poisson { rate }, template, 600, seed).expect("valid");
-        ServerSim::new(cfg).expect("valid").run(&workload).expect("runs")
+        let workload = Workload::generate(ArrivalProcess::Poisson { rate }, template, 600, seed)
+            .expect("valid");
+        ServerSim::new(cfg)
+            .expect("valid")
+            .run(&workload)
+            .expect("runs")
     }
 
     #[test]
@@ -461,7 +740,11 @@ mod tests {
         // playout backlog, so only coarse agreement is expected.
         assert!(r.predicted_occupancy > 0.0);
         assert!(r.predicted_occupancy < f64::from(r.slots as u32));
-        assert!(r.measured_occupancy < 8.0, "measured {}", r.measured_occupancy);
+        assert!(
+            r.measured_occupancy < 8.0,
+            "measured {}",
+            r.measured_occupancy
+        );
     }
 
     /// Regression: `run` used to compute `buffer_slots * full_bits` /
@@ -481,13 +764,8 @@ mod tests {
             cfg.validate_for(template.full_bits()),
             Err(ServeError::InvalidParameter("buffer_slots"))
         ));
-        let workload = Workload::generate(
-            ArrivalProcess::Poisson { rate: 0.5 },
-            template,
-            10,
-            1,
-        )
-        .expect("valid");
+        let workload = Workload::generate(ArrivalProcess::Poisson { rate: 0.5 }, template, 10, 1)
+            .expect("valid");
         assert!(matches!(
             sim.run(&workload),
             Err(ServeError::InvalidParameter("buffer_slots"))
@@ -532,6 +810,174 @@ mod tests {
         );
     }
 
+    fn faulted_setup(load: f64) -> (ServerConfig, Workload) {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let cfg = config(20, &template, AdmissionPolicy::QueuePredictor);
+        let rate = rate_for_load(load, &template, cfg.capacity.link_bits_per_slot);
+        let workload =
+            Workload::generate(ArrivalProcess::Poisson { rate }, template, 600, 7).expect("valid");
+        (cfg, workload)
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_the_nominal_run() {
+        let (cfg, workload) = faulted_setup(1.2);
+        let sim = ServerSim::new(cfg).expect("valid");
+        let nominal = sim.run(&workload).expect("runs");
+        let faulted = sim
+            .run_faulted(&workload, &dms_sim::FaultPlan::none(600), None, None)
+            .expect("runs");
+        assert_eq!(faulted.base, nominal, "no faults must change nothing");
+        assert_eq!(faulted.crashed, 0);
+        assert_eq!(faulted.lost_to_fault_bits, 0);
+        assert_eq!(faulted.stall_slots, 0);
+    }
+
+    #[test]
+    fn link_degradation_costs_utility_and_is_accounted() {
+        let (cfg, workload) = faulted_setup(0.8);
+        let sim = ServerSim::new(cfg).expect("valid");
+        let plan = dms_sim::FaultPlan::compile(
+            &[dms_sim::FaultSpec::LinkDegradation {
+                start_slot: 200,
+                duration_slots: 60,
+                factor: 0.2,
+            }],
+            600,
+            1,
+        )
+        .expect("valid");
+        let nominal = sim.run(&workload).expect("runs");
+        let faulted = sim.run_faulted(&workload, &plan, None, None).expect("runs");
+        assert_eq!(faulted.degraded_slots, 60);
+        assert!(
+            faulted.base.utility_sum < nominal.utility_sum,
+            "a 60-slot 0.2x fade must cost utility"
+        );
+        assert!(
+            faulted.base.mean_layers < nominal.mean_layers,
+            "the shedding controller must react to the faded link"
+        );
+    }
+
+    #[test]
+    fn crash_releases_reservations_and_recovery_readmits() {
+        let (cfg, workload) = faulted_setup(0.8);
+        let sim = ServerSim::new(cfg).expect("valid");
+        let plan = dms_sim::FaultPlan::compile(
+            &[dms_sim::FaultSpec::CrashBurst {
+                slot: 300,
+                fraction: 0.5,
+            }],
+            600,
+            1,
+        )
+        .expect("valid");
+        let recovery = crate::faults::RecoveryConfig::default();
+        let without = sim.run_faulted(&workload, &plan, None, None).expect("runs");
+        assert!(without.crashed > 0, "half the active set must crash");
+        assert_eq!(without.retries, 0);
+        let with = sim
+            .run_faulted(&workload, &plan, Some(&recovery), None)
+            .expect("runs");
+        assert_eq!(with.crashed, without.crashed, "same plan, same victims");
+        assert!(with.retries > 0, "recovery must schedule retries");
+        assert!(
+            with.readmitted > 0,
+            "at 0.8x load retried sessions must fit again"
+        );
+        assert!(
+            with.base.session_slots > without.base.session_slots,
+            "readmitted sessions serve slots the unrecovered run loses"
+        );
+        // First-offer ledger is untouched by retries.
+        assert_eq!(with.base.admitted + with.base.rejected, with.base.offered);
+    }
+
+    #[test]
+    fn stalls_are_detected_and_capacity_reestimated() {
+        let (cfg, workload) = faulted_setup(0.8);
+        let sim = ServerSim::new(cfg).expect("valid");
+        let plan = dms_sim::FaultPlan::compile(
+            &[dms_sim::FaultSpec::SlotStalls {
+                start_slot: 300,
+                duration_slots: 6,
+            }],
+            600,
+            1,
+        )
+        .expect("valid");
+        let recovery = crate::faults::RecoveryConfig::default();
+        let faulted = sim
+            .run_faulted(&workload, &plan, Some(&recovery), None)
+            .expect("runs");
+        assert_eq!(faulted.stall_slots, 6);
+        assert!(
+            faulted.stalls_detected >= 1,
+            "a 6-slot stall exceeds the 3-slot window"
+        );
+        assert!(
+            faulted.capacity_reestimates >= 2,
+            "estimate must drop into the stall and restore after it"
+        );
+    }
+
+    #[test]
+    fn corruption_loses_bits_in_flight() {
+        let (cfg, workload) = faulted_setup(0.8);
+        let sim = ServerSim::new(cfg).expect("valid");
+        let plan = dms_sim::FaultPlan::compile(
+            &[dms_sim::FaultSpec::CorruptionBurst {
+                start_slot: 200,
+                duration_slots: 50,
+                p_good_to_bad: 1.0,
+                p_bad_to_good: 0.0,
+                loss_good: 0.0,
+                loss_bad: 0.3,
+            }],
+            600,
+            1,
+        )
+        .expect("valid");
+        let nominal = sim.run(&workload).expect("runs");
+        let faulted = sim.run_faulted(&workload, &plan, None, None).expect("runs");
+        assert!(faulted.lost_to_fault_bits > 0);
+        assert!(faulted.base.delivered_bits < nominal.delivered_bits);
+        assert!(faulted.base.utility_sum < nominal.utility_sum);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let (cfg, workload) = faulted_setup(1.0);
+        let sim = ServerSim::new(cfg).expect("valid");
+        let specs = [
+            dms_sim::FaultSpec::LinkDegradation {
+                start_slot: 150,
+                duration_slots: 40,
+                factor: 0.5,
+            },
+            dms_sim::FaultSpec::CrashBurst {
+                slot: 250,
+                fraction: 0.3,
+            },
+            dms_sim::FaultSpec::CorruptionBurst {
+                start_slot: 150,
+                duration_slots: 40,
+                p_good_to_bad: 0.01,
+                p_bad_to_good: 0.1,
+                loss_good: 0.001,
+                loss_bad: 0.5,
+            },
+        ];
+        let recovery = crate::faults::RecoveryConfig::default();
+        let run = || {
+            let plan = dms_sim::FaultPlan::compile(&specs, 600, 99).expect("valid");
+            sim.run_faulted(&workload, &plan, Some(&recovery), None)
+                .expect("runs")
+        };
+        assert_eq!(run(), run());
+    }
+
     #[test]
     fn empty_workload_reports_idle() {
         let template = SessionTemplate::streaming_default().expect("preset valid");
@@ -541,7 +987,10 @@ mod tests {
             slots: 50,
         };
         let cfg = config(10, &template, AdmissionPolicy::QueuePredictor);
-        let r = ServerSim::new(cfg).expect("valid").run(&workload).expect("runs");
+        let r = ServerSim::new(cfg)
+            .expect("valid")
+            .run(&workload)
+            .expect("runs");
         assert_eq!(r.session_slots, 0);
         assert_eq!(r.miss_rate(), 0.0);
         assert_eq!(r.mean_utility(), 0.0);

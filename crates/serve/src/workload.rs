@@ -327,8 +327,7 @@ impl Workload {
 /// capacity at full quality: `λ = load · C / (full_bits · E[D])`.
 #[must_use]
 pub fn rate_for_load(load: f64, template: &SessionTemplate, link_bits_per_slot: u64) -> f64 {
-    load * link_bits_per_slot as f64
-        / (template.full_bits() as f64 * template.mean_duration_slots)
+    load * link_bits_per_slot as f64 / (template.full_bits() as f64 * template.mean_duration_slots)
 }
 
 #[cfg(test)]
@@ -457,7 +456,9 @@ mod tests {
     #[test]
     fn arrival_process_rejects_bad_parameters() {
         let mut rng = SimRng::new(1);
-        assert!(ArrivalProcess::Poisson { rate: 0.0 }.counts(10, &mut rng).is_err());
+        assert!(ArrivalProcess::Poisson { rate: 0.0 }
+            .counts(10, &mut rng)
+            .is_err());
         assert!(ArrivalProcess::SelfSimilar {
             rate: 1.0,
             hurst: 1.5,

@@ -2,9 +2,57 @@
 
 use dms_serve::{
     rate_for_load, AdmissionController, AdmissionPolicy, ArrivalProcess, CapacityModel,
-    DegradeConfig, ServeMetricsSink, ServerConfig, ServerSim, SessionTemplate, Workload,
+    DegradeConfig, RecoveryConfig, ServeMetricsSink, ServerConfig, ServerSim, SessionTemplate,
+    Workload,
 };
+use dms_sim::{FaultPlan, FaultSpec};
 use proptest::prelude::*;
+
+/// Strategy: one valid fault spec anywhere inside a 120-slot horizon.
+fn fault_spec() -> impl Strategy<Value = FaultSpec> {
+    prop_oneof![
+        (0u64..110, 1u64..40, 0.0f64..=1.0).prop_map(|(start_slot, duration_slots, factor)| {
+            FaultSpec::LinkDegradation {
+                start_slot,
+                duration_slots,
+                factor,
+            }
+        }),
+        (0u64..110, 1u64..10).prop_map(|(start_slot, duration_slots)| FaultSpec::SlotStalls {
+            start_slot,
+            duration_slots,
+        }),
+        (1u64..110, 0.05f64..=1.0)
+            .prop_map(|(slot, fraction)| FaultSpec::CrashBurst { slot, fraction }),
+        (
+            0u64..110,
+            1u64..40,
+            0.01f64..=1.0,
+            0.01f64..=1.0,
+            0.0f64..=0.2,
+            0.1f64..=1.0,
+        )
+            .prop_map(
+                |(
+                    start_slot,
+                    duration_slots,
+                    p_good_to_bad,
+                    p_bad_to_good,
+                    loss_good,
+                    loss_bad,
+                )| {
+                    FaultSpec::CorruptionBurst {
+                        start_slot,
+                        duration_slots,
+                        p_good_to_bad,
+                        p_bad_to_good,
+                        loss_good,
+                        loss_bad,
+                    }
+                }
+            ),
+    ]
+}
 
 /// Strategy: a valid capacity model with a bound strictly inside the
 /// system size.
@@ -161,5 +209,135 @@ proptest! {
             sink.deadline_misses().iter().sum::<u64>(),
             report.deadline_misses
         );
+    }
+
+    /// Fault injection never breaks the conservation ledgers: whatever
+    /// faults strike and whichever policies run, every offered session
+    /// is admitted or rejected exactly once (retries re-enter through
+    /// the non-recording predicate), and the bits the report accounts
+    /// for leaving the playout buffers — delivered, dropped at the
+    /// door, purged by deadline skips or destroyed by faults — never
+    /// exceed the bits enqueued into them.
+    #[test]
+    fn faulted_runs_conserve_bits(
+        load in 0.2f64..1.5,
+        policy_admit_all in proptest::bool::ANY,
+        degrade_on in proptest::bool::ANY,
+        recovery_on in proptest::bool::ANY,
+        specs in proptest::collection::vec(fault_spec(), 0..6),
+        seed in 0u64..500,
+        plan_seed in 0u64..500,
+    ) {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let capacity = CapacityModel {
+            link_bits_per_slot: 10 * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        };
+        let rate = rate_for_load(load, &template, capacity.link_bits_per_slot);
+        let workload = Workload::generate(ArrivalProcess::Poisson { rate }, template, 120, seed)
+            .expect("valid workload");
+        let plan = FaultPlan::compile(&specs, 120, plan_seed).expect("strategy emits valid specs");
+        let server = ServerSim::new(ServerConfig {
+            capacity,
+            policy: if policy_admit_all {
+                AdmissionPolicy::AdmitAll
+            } else {
+                AdmissionPolicy::QueuePredictor
+            },
+            degrade: degrade_on.then(DegradeConfig::default),
+            buffer_slots: 4,
+            miss_slots: 2,
+        })
+        .expect("valid config");
+        let recovery = recovery_on.then(RecoveryConfig::default);
+        let mut sink = ServeMetricsSink::with_capacity(120);
+        let report = server
+            .run_faulted(&workload, &plan, recovery.as_ref(), Some(&mut sink))
+            .expect("runs");
+        prop_assert_eq!(report.base.admitted + report.base.rejected, report.base.offered);
+        let accounted = report.base.delivered_bits
+            + report.base.buffer_dropped_bits
+            + report.base.purged_bits
+            + report.lost_to_fault_bits;
+        prop_assert!(
+            accounted <= sink.enqueued_bits(),
+            "accounted bits {} exceed enqueued bits {}",
+            accounted,
+            sink.enqueued_bits()
+        );
+        // Recovery books stay consistent with the crash/timeout totals,
+        // and without a recovery policy nothing retries.
+        prop_assert!(report.readmitted + report.retry_rejected <= report.retries);
+        if recovery.is_none() {
+            prop_assert_eq!(report.retries, 0);
+            prop_assert_eq!(report.timed_out, 0);
+        }
+    }
+
+    /// Recovery restores pre-fault service within the backoff horizon:
+    /// after a crash burst, an admit-all server with retry enabled has
+    /// every victim with playout time left back on the air by
+    /// `crash + backoff_horizon`, so from that slot on the active
+    /// population is never below the fault-free run's (timeouts, which
+    /// park a session for one backoff gap, are the only slack).
+    #[test]
+    fn recovery_restores_service_within_the_backoff_horizon(
+        load in 0.2f64..0.9,
+        fraction in 0.1f64..=1.0,
+        crash_slot in 20u64..70,
+        seed in 0u64..500,
+    ) {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let capacity = CapacityModel {
+            link_bits_per_slot: 10 * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        };
+        let rate = rate_for_load(load, &template, capacity.link_bits_per_slot);
+        let workload = Workload::generate(ArrivalProcess::Poisson { rate }, template, 120, seed)
+            .expect("valid workload");
+        let server = ServerSim::new(ServerConfig {
+            capacity,
+            policy: AdmissionPolicy::AdmitAll,
+            degrade: Some(DegradeConfig::default()),
+            buffer_slots: 4,
+            miss_slots: 2,
+        })
+        .expect("valid config");
+        let recovery = RecoveryConfig::default();
+        let plan = FaultPlan::compile(
+            &[FaultSpec::CrashBurst {
+                slot: crash_slot,
+                fraction,
+            }],
+            120,
+            1,
+        )
+        .expect("valid spec");
+
+        let mut nominal_sink = ServeMetricsSink::with_capacity(120);
+        server
+            .run_instrumented(&workload, Some(&mut nominal_sink))
+            .expect("nominal run");
+        let mut faulted_sink = ServeMetricsSink::with_capacity(120);
+        let report = server
+            .run_faulted(&workload, &plan, Some(&recovery), Some(&mut faulted_sink))
+            .expect("faulted run");
+
+        // Admit-all readmits every retry on the first attempt.
+        prop_assert_eq!(report.readmitted, report.retries);
+        prop_assert_eq!(report.retry_rejected, 0);
+        let recovered_from = (crash_slot + recovery.backoff_horizon_slots()) as usize;
+        for slot in recovered_from..120 {
+            prop_assert!(
+                faulted_sink.active()[slot] + report.timed_out >= nominal_sink.active()[slot],
+                "slot {}: faulted active {} (+{} timed out) below nominal {}",
+                slot,
+                faulted_sink.active()[slot],
+                report.timed_out,
+                nominal_sink.active()[slot]
+            );
+        }
     }
 }

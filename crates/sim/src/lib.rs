@@ -48,6 +48,7 @@
 //! ```
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod par;
 pub mod rng;
@@ -56,6 +57,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{DrainReady, Engine, EventQueue, Model, ScheduledEvent};
+pub use faults::{FaultError, FaultEvent, FaultPlan, FaultSpec, ScheduledFault};
 pub use metrics::{JsonValue, Metric, MetricsRegistry, RunLog, RunRecord, ScopedMetrics};
 pub use par::ParRunner;
 pub use rng::SimRng;

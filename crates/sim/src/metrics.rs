@@ -214,6 +214,264 @@ impl JsonValue {
             }
         }
     }
+
+    /// Parses a JSON document produced by [`JsonValue::render`] (or any
+    /// standard JSON text). Numbers without a fraction/exponent parse as
+    /// `Uint`/`Int`; everything else numeric becomes `Float`. This is the
+    /// read-back half used by offline tooling (e.g. the bench-regression
+    /// guard re-reading `BENCH_experiments.json`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, &'static str> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos == p.bytes.len() {
+            Ok(value)
+        } else {
+            Err("trailing characters after JSON value")
+        }
+    }
+
+    /// Object field lookup (first match); `None` for non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (`Uint`/`Int`/`Float`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::Uint(v) => Some(v as f64),
+            JsonValue::Int(v) => Some(v as f64),
+            JsonValue::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an `Array`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal recursive-descent JSON reader for [`JsonValue::parse`].
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\r' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, &'static str> {
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(JsonValue::Null),
+            Some(b't') if self.literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err("unexpected character in JSON value"),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, &'static str> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(JsonValue::Array(items));
+            }
+            if !self.eat(b',') {
+                return Err("expected ',' or ']' in array");
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, &'static str> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err("expected object key");
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err("expected ':' after object key");
+            }
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(JsonValue::Object(fields));
+            }
+            if !self.eat(b',') {
+                return Err("expected ',' or '}' in object");
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, &'static str> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Recover the full UTF-8 scalar starting at b.
+                    let start = self.pos - 1;
+                    let width = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + width).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, &'static str> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if !self.eat(b'+') {
+                let _ = self.eat(b'-');
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+        if text.is_empty() || text == "-" {
+            return Err("bad number");
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::Uint(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| "bad number")
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -480,7 +738,8 @@ impl ScopedMetrics<'_> {
 
     /// Records into the scoped histogram `name`.
     pub fn histogram_record(&mut self, name: &str, x: f64, lo: f64, hi: f64, bins: usize) {
-        self.registry.histogram_record(&self.key(name), x, lo, hi, bins);
+        self.registry
+            .histogram_record(&self.key(name), x, lo, hi, bins);
     }
 
     /// Appends to the scoped series `name`.
@@ -563,10 +822,7 @@ impl RunRecord {
         if let Some(slot) = self.slot {
             obj.push(("slot".to_string(), JsonValue::Uint(slot)));
         }
-        obj.push((
-            "fields".to_string(),
-            JsonValue::Object(self.fields.clone()),
-        ));
+        obj.push(("fields".to_string(), JsonValue::Object(self.fields.clone())));
         JsonValue::Object(obj)
     }
 }
@@ -801,6 +1057,62 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn json_parse_round_trips_rendered_output() {
+        let value = JsonValue::Object(vec![
+            ("name".into(), JsonValue::Str("bench \"smoke\"\n".into())),
+            ("count".into(), JsonValue::Uint(42)),
+            ("delta".into(), JsonValue::Int(-7)),
+            ("seconds".into(), JsonValue::Float(0.125)),
+            ("ok".into(), JsonValue::Bool(true)),
+            ("none".into(), JsonValue::Null),
+            (
+                "items".into(),
+                JsonValue::Array(vec![JsonValue::Uint(1), JsonValue::Float(2.5)]),
+            ),
+            ("empty".into(), JsonValue::Array(Vec::new())),
+        ]);
+        let parsed = JsonValue::parse(&value.render()).expect("round trip");
+        assert_eq!(parsed, value);
+        assert_eq!(parsed.get("count").and_then(JsonValue::as_f64), Some(42.0));
+        assert_eq!(parsed.get("delta").and_then(JsonValue::as_f64), Some(-7.0));
+        assert_eq!(
+            parsed.get("name").and_then(JsonValue::as_str),
+            Some("bench \"smoke\"\n")
+        );
+        assert_eq!(
+            parsed
+                .get("items")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "nul",
+            "1.2.3",
+            "\"abc",
+            "{}{}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        assert_eq!(
+            JsonValue::parse("  [1, 2.5e-1, \"\\u0041\"]  "),
+            Ok(JsonValue::Array(vec![
+                JsonValue::Uint(1),
+                JsonValue::Float(0.25),
+                JsonValue::Str("A".into()),
+            ]))
+        );
     }
 
     #[test]
