@@ -41,7 +41,7 @@ fn main() {
     // Per-experiment timings, isolated: sequential inside and out
     // (DMS_THREADS=1), so the numbers are comparable across machines.
     std::env::set_var("DMS_THREADS", "1");
-    const EXPERIMENTS: [fn() -> Experiment; 19] = [
+    const EXPERIMENTS: [fn() -> Experiment; 20] = [
         dms_bench::fig1_stream,
         dms_bench::fig2_design_flow,
         dms_bench::e1_asip_speedup,
@@ -57,6 +57,7 @@ fn main() {
         dms_bench::e11_ambient,
         dms_bench::e12_server_load,
         dms_bench::e13_resilience,
+        dms_bench::e14_scale_out,
         dms_bench::x1_lip_sync,
         dms_bench::x2_ctmc_transient,
         dms_bench::x3_mapped_validation,
@@ -128,6 +129,34 @@ fn main() {
         e12_points_timed.push((point.label(), secs));
     }
 
+    // E14 cluster sweep, scale-out axis only: one cluster run per
+    // shard count at the saturated load, nominal jsq arm. These are
+    // the largest single jobs in the suite (each fans its shards out
+    // on the inner ParRunner; DMS_THREADS=1 here keeps them serial and
+    // comparable).
+    std::env::set_var("DMS_THREADS", "1");
+    println!("\nE14 scale-out points (jsq, 1.05x, nominal):");
+    let mut e14_points_timed: Vec<(String, f64)> = Vec::new();
+    for point in dms_bench::e14_points()
+        .into_iter()
+        .filter(|p| p.label().ends_with("1.05x-jsq-nominal"))
+    {
+        let mut report = None;
+        let secs = seconds_of(|| {
+            report = Some(dms_bench::e14_run_point(point));
+        });
+        let r = report.expect("point ran");
+        println!(
+            "  {:<24} {:6.3} s  utility {:9.0}  rejected {}",
+            point.label(),
+            secs,
+            r.utility_sum(),
+            r.rejected()
+        );
+        e14_points_timed.push((point.label(), secs));
+    }
+    std::env::remove_var("DMS_THREADS");
+
     // Sink overhead: the heaviest sweep point with no sink (the hot
     // path every experiment takes) vs with a per-slot sink attached.
     // The `None` column is the one that must not regress.
@@ -174,6 +203,9 @@ fn main() {
     }
     for (label, secs) in &e12_points_timed {
         registry.gauge_set(&format!("e12/{label}/seconds"), *secs);
+    }
+    for (label, secs) in &e14_points_timed {
+        registry.gauge_set(&format!("e14/{label}/seconds"), *secs);
     }
     {
         let mut s = registry.scoped("e12_sink_overhead");
@@ -229,6 +261,20 @@ fn main() {
             "e12_load_points".to_string(),
             JsonValue::Array(
                 e12_points_timed
+                    .iter()
+                    .map(|(label, secs)| {
+                        JsonValue::Object(vec![
+                            ("point".to_string(), JsonValue::from(label.as_str())),
+                            ("seconds".to_string(), JsonValue::Float(*secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "e14_scale_out_points".to_string(),
+            JsonValue::Array(
+                e14_points_timed
                     .iter()
                     .map(|(label, secs)| {
                         JsonValue::Object(vec![

@@ -14,6 +14,9 @@ use dms_analysis::{
 };
 use dms_asip::flow::{DesignFlow, FlowConstraints};
 use dms_asip::workloads;
+use dms_cluster::{
+    aggregate_utility, BalancerPolicy, ClusterConfig, ClusterReport, ClusterSim, ShardFault,
+};
 use dms_manet::lifetime::{run_lifetime, LifetimeConfig};
 use dms_manet::routing::Protocol;
 use dms_media::fgs::FgsEncoder;
@@ -809,6 +812,7 @@ pub fn run_log_for(exp: &Experiment) -> RunLog {
     let mut log = match exp.id {
         "E12" => e12_run_log(),
         "E13" => e13_run_log(),
+        "E14" => e14_run_log(),
         _ => RunLog::new(),
     };
     log.set_meta("experiment", exp.id);
@@ -1359,6 +1363,368 @@ pub fn e13_resilience() -> Experiment {
     }
 }
 
+/// One `(shard count, offered load, balancer, fault arm)` point of the
+/// E14 scale-out sweep. Like [`E12Point`], each point is one fully
+/// seeded job; unlike E12, a point is itself a whole cluster whose
+/// shards fan out on the inner [`ParRunner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E14Point {
+    /// Number of server replicas behind the balancer.
+    pub shards: usize,
+    /// Offered load as a multiple of *total fleet* capacity.
+    pub load: f64,
+    /// Routing policy at the front door.
+    pub balancer: BalancerPolicy,
+    /// Whether the last (smallest) shard crashes mid-run.
+    pub crash: bool,
+}
+
+impl E14Point {
+    /// Stable human-readable label (`n4-0.70x-jsq-crash`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "n{}-{:.2}x-{}-{}",
+            self.shards,
+            self.load,
+            self.balancer.label(),
+            if self.crash { "crash" } else { "nominal" }
+        )
+    }
+}
+
+/// Fleet capacity per *weight unit*, in concurrent full-quality
+/// sessions: a shard of weight `w` serves `w x 320` sessions, and an
+/// `N`-shard fleet totals `N` units (weights sum to `N`).
+const E14_SESSIONS_PER_UNIT: u64 = 320;
+/// Slots each E14 point simulates.
+const E14_SLOTS: u64 = 500;
+/// Mean session holding time: several generations per run, and short
+/// enough that the fleet drains mid-run churn quickly.
+const E14_DURATION_SLOTS: f64 = 125.0;
+/// Shard counts of the scale-out axis.
+const E14_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Offered loads: comfortably admitted, and just past saturation —
+/// where balancer choice decides whether the *small* shards overload.
+const E14_LOADS: [f64; 2] = [0.7, 1.05];
+/// Slot at which the crash arm's victim shard dies.
+const E14_CRASH_SLOT: u64 = 250;
+/// Pre-crash utility window (the fleet is warm well before the crash).
+const E14_PRE_WINDOW: (u64, u64) = (150, E14_CRASH_SLOT);
+/// Post-crash window: past the re-offer backoff and readmission churn.
+const E14_POST_WINDOW: (u64, u64) = (300, E14_SLOTS);
+/// Base seed of the per-`(shards, load)` workloads.
+const E14_WORKLOAD_SEED: u64 = 1404;
+/// Seed of the balancer's power-of-two-choices candidate stream.
+const E14_P2C_SEED: u64 = 1409;
+/// Seed of the compiled crash plans.
+const E14_PLAN_SEED: u64 = 1414;
+
+/// Capacity weights of an `N`-shard fleet: a single shard takes the
+/// whole unit; larger fleets alternate big (1.5) and small (0.5)
+/// shards. The skew is the point — an oblivious balancer spreads
+/// sessions evenly and drowns the small shards while the big ones
+/// idle.
+#[must_use]
+pub fn e14_shard_weights(shards: usize) -> Vec<f64> {
+    if shards == 1 {
+        vec![1.0]
+    } else {
+        (0..shards)
+            .map(|i| if i % 2 == 0 { 1.5 } else { 0.5 })
+            .collect()
+    }
+}
+
+/// The full E14 grid: shard counts x loads x balancers x fault arms.
+#[must_use]
+pub fn e14_points() -> Vec<E14Point> {
+    let mut points = Vec::new();
+    for &shards in &E14_SHARD_COUNTS {
+        for &load in &E14_LOADS {
+            for &balancer in &[
+                BalancerPolicy::RoundRobin,
+                BalancerPolicy::JoinShortestQueue,
+                BalancerPolicy::PowerOfTwoChoices,
+            ] {
+                for &crash in &[false, true] {
+                    points.push(E14Point {
+                        shards,
+                        load,
+                        balancer,
+                        crash,
+                    });
+                }
+            }
+        }
+    }
+    points
+}
+
+fn e14_template() -> SessionTemplate {
+    let mut template = SessionTemplate::streaming_default().expect("preset valid");
+    template.mean_duration_slots = E14_DURATION_SLOTS;
+    template
+}
+
+/// Builds the cluster of one E14 point: *bare* admit-all shards behind
+/// the point's balancer — no in-shard admission and no layer shedding,
+/// so the front door's mirror predictors are the fleet's only
+/// protection. That isolates the balancer as the experiment's single
+/// knob: an oblivious front drives the small shards over the backlog
+/// cliff, a predictor-guided front sheds the excess instead.
+fn e14_cluster(point: E14Point, template: &SessionTemplate) -> ClusterSim {
+    let shards = e14_shard_weights(point.shards)
+        .iter()
+        .map(|w| ServerConfig {
+            capacity: CapacityModel {
+                link_bits_per_slot: (w * E14_SESSIONS_PER_UNIT as f64).round() as u64
+                    * template.full_bits(),
+                queue_frames: 64,
+                occupancy_bound: 8.0,
+            },
+            policy: AdmissionPolicy::AdmitAll,
+            degrade: None,
+            buffer_slots: 4,
+            miss_slots: 2,
+        })
+        .collect();
+    ClusterSim::new(ClusterConfig {
+        shards,
+        balancer: point.balancer,
+        recovery: RecoveryConfig::default(),
+        seed: E14_P2C_SEED,
+    })
+    .expect("valid config")
+}
+
+/// The crash arm's fault list: the last shard — one of the *small*
+/// ones in every skewed fleet — dies completely at [`E14_CRASH_SLOT`],
+/// with the balancer's failure detector flagging it the same slot.
+fn e14_faults(point: E14Point) -> Vec<ShardFault> {
+    if !point.crash {
+        return Vec::new();
+    }
+    (0..point.shards)
+        .map(|i| {
+            if i == point.shards - 1 {
+                ShardFault {
+                    plan: FaultPlan::compile(
+                        &[FaultSpec::CrashBurst {
+                            slot: E14_CRASH_SLOT,
+                            fraction: 1.0,
+                        }],
+                        E14_SLOTS,
+                        E14_PLAN_SEED,
+                    )
+                    .expect("grid specs are valid"),
+                    down_from: Some(E14_CRASH_SLOT),
+                }
+            } else {
+                ShardFault::default()
+            }
+        })
+        .collect()
+}
+
+/// Runs one E14 point. The workload seed depends only on
+/// `(shards, load)`, so every balancer and fault arm of a fleet size
+/// sees the *same* arrival sequence and their comparison is paired.
+#[must_use]
+pub fn e14_run_point(point: E14Point) -> ClusterReport {
+    e14_run_point_instrumented(point, None)
+}
+
+/// [`e14_run_point`] with optional per-shard metrics sinks attached.
+#[must_use]
+pub fn e14_run_point_instrumented(
+    point: E14Point,
+    sinks: Option<&mut Vec<ServeMetricsSink>>,
+) -> ClusterReport {
+    let template = e14_template();
+    let total_bits = point.shards as u64 * E14_SESSIONS_PER_UNIT * template.full_bits();
+    let rate = rate_for_load(point.load, &template, total_bits);
+    let seed = E14_WORKLOAD_SEED + point.shards as u64 * 100 + (point.load * 100.0).round() as u64;
+    let workload = Workload::generate(ArrivalProcess::Poisson { rate }, template, E14_SLOTS, seed)
+        .expect("valid workload");
+    e14_cluster(point, &template)
+        .run_faulted(&workload, &e14_faults(point), sinks)
+        .expect("valid config")
+}
+
+/// Fleet-level delivered-utility recovery of one instrumented crash
+/// run: post-crash window mean over pre-crash window mean of the
+/// shard-summed per-slot utility.
+#[must_use]
+pub fn e14_recovered_fraction(sinks: &[ServeMetricsSink]) -> f64 {
+    let total = aggregate_utility(sinks);
+    let pre = window_mean(&total, E14_PRE_WINDOW);
+    if pre <= 0.0 {
+        return 0.0;
+    }
+    window_mean(&total, E14_POST_WINDOW) / pre
+}
+
+/// Builds the full E14 run-log: cluster and per-shard counters for all
+/// 48 points, recovery gauges for the crash arms, and the aggregate
+/// per-slot utility series for the headline crash points (one of four
+/// shards dying at 0.7x — the recovery curves the ≥90% claim is
+/// about).
+///
+/// Points shard across [`ParRunner`] (each point's shards fan out on
+/// the inner runner) with per-point registries merged in job order, so
+/// the log is byte-identical at any `DMS_THREADS`.
+#[must_use]
+pub fn e14_run_log() -> RunLog {
+    let points = e14_points();
+    let results = ParRunner::new().map(&points, |&point| {
+        let mut sinks = Vec::new();
+        let report = e14_run_point_instrumented(point, Some(&mut sinks));
+        let mut registry = MetricsRegistry::new();
+        let scope = format!("e14/{}", point.label());
+        report.export(&mut registry, &scope);
+        let recovered = point.crash.then(|| e14_recovered_fraction(&sinks));
+        if let Some(fraction) = recovered {
+            registry
+                .scoped(&scope)
+                .gauge_set("recovered_fraction", fraction);
+        }
+        if point.shards == 4 && (point.load - 0.7).abs() < 1e-9 && point.crash {
+            registry
+                .scoped(&format!("{scope}/series"))
+                .series_extend("utility", aggregate_utility(&sinks));
+        }
+        (report, recovered, registry)
+    });
+    let mut log = RunLog::new();
+    log.set_meta("experiment", "E14");
+    log.set_meta("slots", E14_SLOTS.to_string());
+    log.set_meta("sessions_per_unit", E14_SESSIONS_PER_UNIT.to_string());
+    log.set_meta("crash_slot", E14_CRASH_SLOT.to_string());
+    for (point, (report, recovered, registry)) in points.iter().zip(&results) {
+        log.registry_mut().merge(registry);
+        let mut record = RunRecord::new("e14-point")
+            .with("label", point.label())
+            .with("shards", point.shards as u64)
+            .with("load", point.load)
+            .with("balancer", point.balancer.label())
+            .with("crash", point.crash)
+            .with("utility_sum", report.utility_sum())
+            .with("mean_utility", report.mean_utility())
+            .with("admitted", report.admitted())
+            .with("rejected", report.rejected())
+            .with("rerouted", report.dispatch.rerouted);
+        if let Some(fraction) = recovered {
+            record = record.with("recovered_fraction", *fraction);
+        }
+        log.push(record);
+    }
+    log
+}
+
+/// E14 — scale-out across a sharded cluster: aggregate utility grows
+/// near-linearly with shard count under the predictor-guided
+/// balancers, the oblivious round-robin front collapses first on the
+/// skewed fleet, and cross-shard re-routing retains ≥90% of pre-crash
+/// utility when one of four shards dies.
+#[must_use]
+pub fn e14_scale_out() -> Experiment {
+    let points = e14_points();
+    let results = ParRunner::new().map(&points, |&point| {
+        let mut sinks = Vec::new();
+        let report = e14_run_point_instrumented(point, Some(&mut sinks));
+        let recovered = point.crash.then(|| e14_recovered_fraction(&sinks));
+        (report, recovered)
+    });
+    let find = |shards: usize, load: f64, balancer: BalancerPolicy, crash: bool| {
+        let want = E14Point {
+            shards,
+            load,
+            balancer,
+            crash,
+        };
+        points
+            .iter()
+            .position(|p| *p == want)
+            .map(|i| &results[i])
+            .expect("point is on the grid")
+    };
+    let mut rows = Vec::new();
+    let scaling: Vec<String> = E14_SHARD_COUNTS
+        .iter()
+        .map(|&n| {
+            format!(
+                "{:.0}",
+                find(n, 0.7, BalancerPolicy::JoinShortestQueue, false)
+                    .0
+                    .utility_sum()
+            )
+        })
+        .collect();
+    let one_shard = find(1, 0.7, BalancerPolicy::JoinShortestQueue, false)
+        .0
+        .utility_sum();
+    let eight_shards = find(8, 0.7, BalancerPolicy::JoinShortestQueue, false)
+        .0
+        .utility_sum();
+    rows.push(Row::new(
+        "aggregate utility, 1 -> 8 shards at 0.7x (jsq)",
+        "near-linear scale-out (>= 6x at 8 shards)",
+        format!("{} ({:.2}x)", scaling.join(" / "), eight_shards / one_shard),
+    ));
+    let rr = &find(8, 1.05, BalancerPolicy::RoundRobin, false).0;
+    let jsq = &find(8, 1.05, BalancerPolicy::JoinShortestQueue, false).0;
+    let p2c = &find(8, 1.05, BalancerPolicy::PowerOfTwoChoices, false).0;
+    rows.push(Row::new(
+        "utility at 1.05x on the skewed 8-shard fleet (rr / jsq / p2c)",
+        "oblivious rotation drowns the small shards; predictors don't (>= 1.5x apart)",
+        format!(
+            "{:.0} / {:.0} / {:.0} ({:.2}x / {:.2}x vs rr)",
+            rr.utility_sum(),
+            jsq.utility_sum(),
+            p2c.utility_sum(),
+            jsq.utility_sum() / rr.utility_sum(),
+            p2c.utility_sum() / rr.utility_sum()
+        ),
+    ));
+    rows.push(Row::new(
+        "sessions shed by the balancer at 1.05x, 8 shards (rr / jsq / p2c)",
+        "smart fronts reject what the fleet cannot serve; rr admits it all into overload",
+        format!(
+            "{} / {} / {}",
+            rr.dispatch.balancer_rejected,
+            jsq.dispatch.balancer_rejected,
+            p2c.dispatch.balancer_rejected
+        ),
+    ));
+    let fmt_rf = |r: &(ClusterReport, Option<f64>)| {
+        format!("{:.0}%", r.1.expect("crash arm has a fraction") * 100.0)
+    };
+    let rr_c = find(4, 0.7, BalancerPolicy::RoundRobin, true);
+    let jsq_c = find(4, 0.7, BalancerPolicy::JoinShortestQueue, true);
+    let p2c_c = find(4, 0.7, BalancerPolicy::PowerOfTwoChoices, true);
+    rows.push(Row::new(
+        "one-of-four shard crash at 0.7x: post/pre utility (rr / jsq / p2c)",
+        "re-routing keeps >= 90% of pre-crash utility",
+        format!("{} / {} / {}", fmt_rf(rr_c), fmt_rf(jsq_c), fmt_rf(p2c_c)),
+    ));
+    rows.push(Row::new(
+        "crash fail-over (jsq, 4 shards, 0.7x)",
+        "sessions in flight on the dead shard re-offer to the survivors",
+        format!(
+            "{} crashed, {} rerouted, {} balancer-rejected",
+            jsq_c.0.crashed(),
+            jsq_c.0.dispatch.rerouted,
+            jsq_c.0.dispatch.balancer_rejected
+        ),
+    ));
+    Experiment {
+        id: "E14",
+        title: "Scale-out: sharded cluster, balancer policies + crash re-routing (S2.2, S4)",
+        rows,
+    }
+}
+
 /// X1 — lip synchronisation (extension; §2.1's temporal relationship,
 /// not a numbered claim of the paper).
 #[must_use]
@@ -1532,7 +1898,7 @@ pub fn x4_arq_packet_size() -> Experiment {
 /// (`DMS_THREADS=1` forces that loop back).
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {
-    const EXPERIMENTS: [fn() -> Experiment; 19] = [
+    const EXPERIMENTS: [fn() -> Experiment; 20] = [
         fig1_stream,
         fig2_design_flow,
         e1_asip_speedup,
@@ -1548,6 +1914,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         e11_ambient,
         e12_server_load,
         e13_resilience,
+        e14_scale_out,
         x1_lip_sync,
         x2_ctmc_transient,
         x3_mapped_validation,
@@ -1691,6 +2058,66 @@ mod tests {
             ctl.readmitted
         );
         assert_eq!(unc.retries, 0, "uncontrolled arm must not retry");
+
+        // E14: on the skewed 8-shard fleet just past saturation, the
+        // predictor-guided balancers deliver >= 1.5x the oblivious
+        // round-robin utility; at 0.7x the jsq fleet scales >= 6x from
+        // 1 to 8 shards; and when one of four shards dies at 0.7x,
+        // cross-shard re-routing keeps >= 90% of pre-crash utility.
+        let e14 = |balancer, crash| {
+            let point = E14Point {
+                shards: if crash { 4 } else { 8 },
+                load: if crash { 0.7 } else { 1.05 },
+                balancer,
+                crash,
+            };
+            let mut sinks = Vec::new();
+            let report = e14_run_point_instrumented(point, Some(&mut sinks));
+            let recovered = e14_recovered_fraction(&sinks);
+            (report, recovered)
+        };
+        let (rr, _) = e14(BalancerPolicy::RoundRobin, false);
+        let (jsq, _) = e14(BalancerPolicy::JoinShortestQueue, false);
+        let (p2c, _) = e14(BalancerPolicy::PowerOfTwoChoices, false);
+        assert!(
+            jsq.utility_sum() >= 1.5 * rr.utility_sum(),
+            "E14: jsq utility {} not 1.5x rr {}",
+            jsq.utility_sum(),
+            rr.utility_sum()
+        );
+        assert!(
+            p2c.utility_sum() >= 1.5 * rr.utility_sum(),
+            "E14: p2c utility {} not 1.5x rr {}",
+            p2c.utility_sum(),
+            rr.utility_sum()
+        );
+        let one = e14_run_point(E14Point {
+            shards: 1,
+            load: 0.7,
+            balancer: BalancerPolicy::JoinShortestQueue,
+            crash: false,
+        });
+        let eight = e14_run_point(E14Point {
+            shards: 8,
+            load: 0.7,
+            balancer: BalancerPolicy::JoinShortestQueue,
+            crash: false,
+        });
+        assert!(
+            eight.utility_sum() >= 6.0 * one.utility_sum(),
+            "E14: 8-shard utility {} not 6x the 1-shard {}",
+            eight.utility_sum(),
+            one.utility_sum()
+        );
+        let (jsq_crash, jsq_rf) = e14(BalancerPolicy::JoinShortestQueue, true);
+        assert!(
+            jsq_rf >= 0.9,
+            "E14: crash recovered fraction {jsq_rf} < 0.9"
+        );
+        assert!(
+            jsq_crash.dispatch.rerouted > 0,
+            "E14: no sessions re-routed off the dead shard"
+        );
 
         // E9: battery-cost routing improves lifetime by >20%.
         let e9 = e9_manet_routing();

@@ -1,0 +1,299 @@
+//! Pluggable session balancers over the shard set.
+//!
+//! The paper's §2.2 methodology — cheap analytical models consulted at
+//! runtime — extends from one server to a fleet: the balancer holds a
+//! *mirror* M/M/1/K admission predictor per shard
+//! ([`dms_serve::AdmissionController`] with the
+//! [`AdmissionPolicy::QueuePredictor`] policy) and routes each arriving
+//! session with nothing more than those predictors plus a per-shard
+//! reserved-capacity ledger. Shard replicas themselves run admit-all:
+//! in this cluster the admission intelligence lives entirely at the
+//! balancer, which is what makes the smart policies *global* admission
+//! control rather than N local ones.
+//!
+//! All three policies are deterministic functions of the dispatch
+//! history: round-robin keeps a cursor, join-shortest-queue compares
+//! ledgers, and power-of-two-choices draws its candidate pair from a
+//! seeded [`SimRng`] substream that advances once per decision. The
+//! dispatcher calls them from a single sequential pass over the offer
+//! stream, so routing is byte-identical at any `DMS_THREADS`.
+
+use dms_serve::{AdmissionController, AdmissionPolicy, CapacityModel, ServeError};
+use dms_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Which balancing policy routes sessions to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalancerPolicy {
+    /// Cycle through the live shards in index order, blind to load.
+    /// The skew baseline: it overloads small shards exactly as an
+    /// oblivious fronted would.
+    RoundRobin,
+    /// Route to the live shard with the lowest *reserved fraction*
+    /// (reserved bits over shard capacity), then admit only if that
+    /// shard's mirror predictor accepts the added demand.
+    JoinShortestQueue,
+    /// Draw two live candidates from a seeded stream, keep the one
+    /// with the lower predicted M/M/1/K occupancy, admit through its
+    /// mirror predictor. Classic power-of-two-choices: almost all of
+    /// JSQ's balance for a fraction of its state inspection.
+    PowerOfTwoChoices,
+}
+
+impl BalancerPolicy {
+    /// Stable label used in metric scopes and experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BalancerPolicy::RoundRobin => "rr",
+            BalancerPolicy::JoinShortestQueue => "jsq",
+            BalancerPolicy::PowerOfTwoChoices => "p2c",
+        }
+    }
+}
+
+/// The balancer's view of one shard: the mirror admission predictor
+/// plus the reserved-capacity ledger it feeds.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardState {
+    /// Mirror M/M/1/K predictor over this shard's capacity model. The
+    /// shard replica itself runs admit-all; this mirror is the *only*
+    /// admission decision for sessions routed by the smart policies.
+    mirror: AdmissionController,
+    /// Capacity of the shard, bits per slot (for load normalisation).
+    capacity_bits: u64,
+    /// Aggregate full-quality demand of sessions currently routed
+    /// here, bits per slot.
+    reserved_bits: u64,
+    /// Reserved sessions' `(depart_slot, bits)`, a min-heap via sorted
+    /// insertion being unnecessary: releases pop anything due.
+    departures: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    /// First slot at which the shard is dead, if it dies.
+    down_from: Option<u64>,
+}
+
+impl ShardState {
+    pub(crate) fn new(
+        capacity: CapacityModel,
+        frame_bits: u64,
+        down_from: Option<u64>,
+    ) -> Result<Self, ServeError> {
+        Ok(ShardState {
+            mirror: AdmissionController::new(
+                capacity,
+                AdmissionPolicy::QueuePredictor,
+                frame_bits,
+            )?,
+            capacity_bits: capacity.link_bits_per_slot,
+            reserved_bits: 0,
+            departures: std::collections::BinaryHeap::new(),
+            down_from,
+        })
+    }
+
+    /// Whether the shard serves traffic at `slot`.
+    pub(crate) fn alive(&self, slot: u64) -> bool {
+        self.down_from.is_none_or(|d| slot < d)
+    }
+
+    /// Whether the shard dies at some point of the run.
+    pub(crate) fn dies(&self) -> bool {
+        self.down_from.is_some()
+    }
+
+    /// Releases reservations of sessions departing *before* `slot`.
+    /// Strictly before: the server drains same-slot departures after
+    /// same-slot arrivals, so a session departing at `slot` still
+    /// holds capacity against arrivals at `slot`.
+    pub(crate) fn release_until(&mut self, slot: u64) {
+        while let Some(&std::cmp::Reverse((depart, bits))) = self.departures.peek() {
+            if depart >= slot {
+                break;
+            }
+            self.departures.pop();
+            self.reserved_bits = self.reserved_bits.saturating_sub(bits);
+        }
+    }
+
+    /// Records a routed session occupying `bits` until `depart_slot`.
+    pub(crate) fn reserve(&mut self, depart_slot: u64, bits: u64) {
+        self.reserved_bits += bits;
+        self.departures.push(std::cmp::Reverse((depart_slot, bits)));
+    }
+
+    /// Reserved fraction of shard capacity (the JSQ metric).
+    fn reserved_fraction(&self) -> f64 {
+        self.reserved_bits as f64 / self.capacity_bits as f64
+    }
+
+    /// Predicted mean occupancy if `bits` more demand joins.
+    fn occupancy_with(&self, bits: u64) -> f64 {
+        self.mirror.predicted_occupancy(self.reserved_bits + bits)
+    }
+
+    /// Mirror admission predicate for `bits` more demand.
+    fn would_admit(&self, bits: u64) -> bool {
+        self.mirror.would_admit(self.reserved_bits, bits)
+    }
+}
+
+/// The routing decision for one offered session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Route {
+    /// Dispatch to this shard index.
+    To(usize),
+    /// Every live shard's predictor refused (or no shard is live);
+    /// the dispatcher sends the offer through the retry/backoff path.
+    Refused,
+}
+
+/// Sequential balancer state: policy plus the little it carries
+/// between decisions (RR cursor, P2C candidate stream).
+#[derive(Debug)]
+pub(crate) struct Balancer {
+    policy: BalancerPolicy,
+    cursor: usize,
+    rng: SimRng,
+}
+
+impl Balancer {
+    pub(crate) fn new(policy: BalancerPolicy, seed: u64) -> Self {
+        Balancer {
+            policy,
+            cursor: 0,
+            rng: SimRng::new(seed).substream("cluster-p2c", 0),
+        }
+    }
+
+    /// Picks a shard for a session demanding `bits` per slot arriving
+    /// at `slot`. Callers must have called
+    /// [`ShardState::release_until`] on every shard first.
+    pub(crate) fn route(&mut self, shards: &[ShardState], slot: u64, bits: u64) -> Route {
+        let live: Vec<usize> = (0..shards.len())
+            .filter(|&i| shards[i].alive(slot))
+            .collect();
+        if live.is_empty() {
+            return Route::Refused;
+        }
+        match self.policy {
+            BalancerPolicy::RoundRobin => {
+                // Oblivious: no mirror consultation, no refusal. The
+                // cursor indexes the *live* list so a dead shard drops
+                // out of rotation without stalling it.
+                let pick = live[self.cursor % live.len()];
+                self.cursor = self.cursor.wrapping_add(1);
+                Route::To(pick)
+            }
+            BalancerPolicy::JoinShortestQueue => {
+                let pick = live
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        shards[a]
+                            .reserved_fraction()
+                            .total_cmp(&shards[b].reserved_fraction())
+                            .then(a.cmp(&b))
+                    })
+                    .expect("live set is non-empty");
+                if shards[pick].would_admit(bits) {
+                    Route::To(pick)
+                } else {
+                    Route::Refused
+                }
+            }
+            BalancerPolicy::PowerOfTwoChoices => {
+                // Two draws from the candidate stream even when the
+                // live set is a singleton, so the stream position (and
+                // with it every later decision) does not depend on
+                // when shards die.
+                let a = live[self.rng.below(live.len())];
+                let b = live[self.rng.below(live.len())];
+                let pick = if shards[b].occupancy_with(bits) < shards[a].occupancy_with(bits) {
+                    b
+                } else {
+                    a
+                };
+                if shards[pick].would_admit(bits) {
+                    Route::To(pick)
+                } else {
+                    Route::Refused
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(sessions: u64) -> CapacityModel {
+        CapacityModel {
+            link_bits_per_slot: sessions * 1_000,
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        }
+    }
+
+    fn states(caps: &[u64]) -> Vec<ShardState> {
+        caps.iter()
+            .map(|&c| ShardState::new(model(c), 1_000, None).expect("valid"))
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_live_shards() {
+        let shards = states(&[100, 100, 100]);
+        let mut b = Balancer::new(BalancerPolicy::RoundRobin, 7);
+        let picks: Vec<Route> = (0..6).map(|_| b.route(&shards, 0, 1_000)).collect();
+        assert_eq!(
+            picks,
+            vec![
+                Route::To(0),
+                Route::To(1),
+                Route::To(2),
+                Route::To(0),
+                Route::To(1),
+                Route::To(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn jsq_prefers_emptier_shard_and_refuses_when_full() {
+        let mut shards = states(&[100, 100]);
+        shards[0].reserve(50, 40_000);
+        let mut b = Balancer::new(BalancerPolicy::JoinShortestQueue, 7);
+        assert_eq!(b.route(&shards, 0, 1_000), Route::To(1));
+        // Saturate both far past the occupancy bound: refused.
+        shards[0].reserve(50, 90_000);
+        shards[1].reserve(50, 130_000);
+        assert_eq!(b.route(&shards, 0, 1_000), Route::Refused);
+    }
+
+    #[test]
+    fn dead_shards_drop_out_of_every_policy() {
+        let mut shards = states(&[100, 100]);
+        shards[0].down_from = Some(10);
+        for policy in [
+            BalancerPolicy::RoundRobin,
+            BalancerPolicy::JoinShortestQueue,
+            BalancerPolicy::PowerOfTwoChoices,
+        ] {
+            let mut b = Balancer::new(policy, 7);
+            for _ in 0..8 {
+                assert_eq!(b.route(&shards, 10, 1_000), Route::To(1), "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn release_is_strict_at_the_slot_edge() {
+        let mut shards = states(&[100]);
+        shards[0].reserve(5, 1_000);
+        shards[0].release_until(5);
+        assert_eq!(shards[0].reserved_bits, 1_000, "departing slot still holds");
+        shards[0].release_until(6);
+        assert_eq!(shards[0].reserved_bits, 0);
+    }
+}

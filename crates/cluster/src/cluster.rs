@@ -1,0 +1,641 @@
+//! The sharded cluster simulation: deterministic dispatch, parallel
+//! shard execution, merged accounting.
+//!
+//! A [`ClusterSim`] run has two phases:
+//!
+//! 1. **Dispatch** — a single sequential pass over the offer stream
+//!    (arrivals, balancer retries, crash re-offers) ordered by
+//!    `(slot, sequence)`. The `Balancer` routes each offer using its
+//!    per-shard mirror predictors; refusals back off and retry through
+//!    the cluster's [`RecoveryConfig`] exactly as in-server session
+//!    retries do, and sessions in flight on a dying shard are
+//!    re-offered to the survivors after the first backoff delay. The
+//!    pass touches no simulation state, so it is trivially
+//!    deterministic.
+//! 2. **Shard execution** — the per-shard workloads run as independent
+//!    [`ServerSim`] jobs on a [`ParRunner`], merged in job order. Each
+//!    shard job is fully seeded and self-contained, so the cluster
+//!    output is byte-identical at any `DMS_THREADS` — the same
+//!    replication contract every other sweep in this workspace obeys.
+//!
+//! With one shard and the oblivious round-robin balancer the dispatch
+//! pass is the identity and the cluster reproduces a bare
+//! [`ServerSim::run`] bit for bit (property-tested in
+//! `tests/differential_cluster.rs`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dms_serve::{
+    FaultReport, RecoveryConfig, ServeError, ServeMetricsSink, ServerConfig, ServerSim,
+    SessionRequest, Workload,
+};
+use dms_sim::{FaultPlan, MetricsRegistry, ParRunner};
+use serde::{Deserialize, Serialize};
+
+use crate::balancer::{Balancer, BalancerPolicy, Route, ShardState};
+
+/// Cluster-wide configuration: the shard replicas plus the balancer
+/// that fronts them.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// One server configuration per shard. Capacities may differ —
+    /// heterogeneous fleets are exactly where balancer choice matters.
+    pub shards: Vec<ServerConfig>,
+    /// Routing policy at the front door.
+    pub balancer: BalancerPolicy,
+    /// Backoff/retry knobs for refused offers and crash re-offers
+    /// (`backoff_base_slots`, `backoff_factor`, `max_retries`; the
+    /// in-server timeout/stall fields are unused at this layer).
+    pub recovery: RecoveryConfig,
+    /// Seed for the power-of-two-choices candidate stream.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Validates every shard config and the recovery knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] for an empty shard
+    /// list and propagates shard/recovery validation failures.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards.is_empty() {
+            return Err(ServeError::InvalidParameter("shards"));
+        }
+        for shard in &self.shards {
+            shard.validate()?;
+        }
+        self.recovery.validate()
+    }
+}
+
+/// Faults striking one shard: a compiled in-shard plan plus the slot
+/// (if any) from which the balancer must treat the shard as dead.
+///
+/// `down_from` is the *balancer's* health view; the in-shard `plan`
+/// carries the simulation-level consequences (typically a
+/// `FaultSpec::CrashBurst` at the same slot killing the sessions in
+/// flight). Keeping the two explicit — rather than inferring health
+/// from the plan — models a fleet whose failure detector is a separate
+/// signal from the failure itself.
+#[derive(Debug, Clone, Default)]
+pub struct ShardFault {
+    /// Compiled fault schedule for the shard's own run.
+    pub plan: FaultPlan,
+    /// First slot at which the balancer routes around the shard.
+    pub down_from: Option<u64>,
+}
+
+/// The dispatch pass's routing ledger.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchReport {
+    /// Sessions in the offered workload.
+    pub offered: u64,
+    /// Offers routed to a shard (originals and crash re-offers alike).
+    pub dispatched: u64,
+    /// Offers every live mirror refused until their retry budget ran
+    /// out — the cluster's admission rejections.
+    pub balancer_rejected: u64,
+    /// Backoff re-attempts scheduled after refusals.
+    pub retries: u64,
+    /// Sessions re-offered to the survivors after their shard died.
+    pub rerouted: u64,
+    /// Sessions routed to each shard.
+    pub shard_sessions: Vec<u64>,
+}
+
+/// What one cluster run measured: the routing ledger plus every
+/// shard's own [`FaultReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Routing ledger of the dispatch pass.
+    pub dispatch: DispatchReport,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<FaultReport>,
+    /// Slots simulated.
+    pub slots: u64,
+}
+
+impl ClusterReport {
+    /// Sessions offered to the cluster.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.dispatch.offered
+    }
+
+    /// Sessions admitted across all shards.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.base.admitted).sum()
+    }
+
+    /// Sessions rejected: balancer refusals plus in-shard rejections.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.dispatch.balancer_rejected + self.shards.iter().map(|s| s.base.rejected).sum::<u64>()
+    }
+
+    /// Aggregate delivered utility.
+    #[must_use]
+    pub fn utility_sum(&self) -> f64 {
+        self.shards.iter().map(|s| s.base.utility_sum).sum()
+    }
+
+    /// Aggregate delivered bits.
+    #[must_use]
+    pub fn delivered_bits(&self) -> u64 {
+        self.shards.iter().map(|s| s.base.delivered_bits).sum()
+    }
+
+    /// Aggregate deadline misses.
+    #[must_use]
+    pub fn deadline_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.base.deadline_misses).sum()
+    }
+
+    /// Aggregate session-slots served.
+    #[must_use]
+    pub fn session_slots(&self) -> u64 {
+        self.shards.iter().map(|s| s.base.session_slots).sum()
+    }
+
+    /// Sessions killed by shard faults.
+    #[must_use]
+    pub fn crashed(&self) -> u64 {
+        self.shards.iter().map(|s| s.crashed).sum()
+    }
+
+    /// Mean delivered utility per session-slot across the fleet.
+    #[must_use]
+    pub fn mean_utility(&self) -> f64 {
+        let slots = self.session_slots();
+        if slots == 0 {
+            0.0
+        } else {
+            self.utility_sum() / slots as f64
+        }
+    }
+
+    /// Exports the cluster's counters into `registry` under `scope`:
+    /// aggregate totals at `scope/...` and per-shard totals at
+    /// `scope/shard<i>/...` — the run-log shape E14 commits to.
+    pub fn export(&self, registry: &mut MetricsRegistry, scope: &str) {
+        {
+            let mut s = registry.scoped(scope);
+            s.counter_add("offered", self.offered());
+            s.counter_add("dispatched", self.dispatch.dispatched);
+            s.counter_add("balancer_rejected", self.dispatch.balancer_rejected);
+            s.counter_add("retries", self.dispatch.retries);
+            s.counter_add("rerouted", self.dispatch.rerouted);
+            s.counter_add("admitted", self.admitted());
+            s.counter_add("rejected", self.rejected());
+            s.counter_add("deadline_misses", self.deadline_misses());
+            s.counter_add("delivered_bits", self.delivered_bits());
+            s.counter_add("crashed", self.crashed());
+            s.gauge_set("mean_utility", self.mean_utility());
+            s.gauge_set("utility_sum", self.utility_sum());
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut s = registry.scoped(&format!("{scope}/shard{i}"));
+            s.counter_add("offered", shard.base.offered);
+            s.counter_add("admitted", shard.base.admitted);
+            s.counter_add("rejected", shard.base.rejected);
+            s.counter_add("deadline_misses", shard.base.deadline_misses);
+            s.counter_add("delivered_bits", shard.base.delivered_bits);
+            s.counter_add("crashed", shard.crashed);
+            s.gauge_set("mean_utility", shard.base.mean_utility());
+            s.gauge_set("miss_rate", shard.base.miss_rate());
+        }
+    }
+}
+
+/// Element-wise sum of the shards' per-slot delivered-utility series —
+/// the cluster-level recovery-curve signal (E14's crash arms).
+#[must_use]
+pub fn aggregate_utility(sinks: &[ServeMetricsSink]) -> Vec<f64> {
+    let slots = sinks.iter().map(|s| s.utility().len()).max().unwrap_or(0);
+    let mut total = vec![0.0f64; slots];
+    for sink in sinks {
+        for (t, &u) in sink.utility().iter().enumerate() {
+            total[t] += u;
+        }
+    }
+    total
+}
+
+/// One offer in the dispatch stream. The derived lexicographic `Ord`
+/// over `(slot, seq)` is the processing order; `seq` is unique, so the
+/// remaining fields never decide a comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Offer {
+    slot: u64,
+    seq: u64,
+    id: u64,
+    duration_slots: u64,
+    attempt: u32,
+}
+
+/// A sharded streaming cluster over [`ServerSim`] replicas.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    config: ClusterConfig,
+}
+
+impl ClusterSim {
+    /// Builds a cluster after validating its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusterConfig::validate`].
+    pub fn new(config: ClusterConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        Ok(ClusterSim { config })
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Runs `workload` across the shards with no faults.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ClusterSim::run_faulted`].
+    pub fn run(&self, workload: &Workload) -> Result<ClusterReport, ServeError> {
+        self.run_faulted(workload, &[], None)
+    }
+
+    /// Runs `workload` across the shards under per-shard fault plans,
+    /// optionally collecting one per-slot metrics sink per shard.
+    ///
+    /// `faults` must be empty (no faults) or hold exactly one
+    /// [`ShardFault`] per shard. Shards run in parallel on a
+    /// [`ParRunner`] and are merged in shard order, so the report (and
+    /// the sinks) are byte-identical at any `DMS_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] on a fault-list length
+    /// mismatch; propagates template/config validation from the shard
+    /// runs.
+    pub fn run_faulted(
+        &self,
+        workload: &Workload,
+        faults: &[ShardFault],
+        sinks: Option<&mut Vec<ServeMetricsSink>>,
+    ) -> Result<ClusterReport, ServeError> {
+        if !faults.is_empty() && faults.len() != self.config.shards.len() {
+            return Err(ServeError::InvalidParameter("faults"));
+        }
+        let (shard_workloads, dispatch) = self.dispatch(workload, faults)?;
+        let none_plan = FaultPlan::none(workload.slots);
+        let want_sinks = sinks.is_some();
+        let jobs: Vec<usize> = (0..self.config.shards.len()).collect();
+        let results: Vec<Result<(FaultReport, ServeMetricsSink), ServeError>> = ParRunner::new()
+            .map(&jobs, |&i| {
+                let server = ServerSim::new(self.config.shards[i])?;
+                let plan = faults.get(i).map_or(&none_plan, |f| &f.plan);
+                let mut sink = ServeMetricsSink::with_capacity(if want_sinks {
+                    workload.slots as usize
+                } else {
+                    0
+                });
+                // Shard-level recovery stays off: crashed sessions are
+                // re-routed *across* shards by the dispatch pass, not
+                // retried into the shard that lost them.
+                let report = server.run_faulted(
+                    &shard_workloads[i],
+                    plan,
+                    None,
+                    want_sinks.then_some(&mut sink),
+                )?;
+                Ok((report, sink))
+            });
+        let mut shards = Vec::with_capacity(results.len());
+        let mut shard_sinks = Vec::with_capacity(results.len());
+        for result in results {
+            let (report, sink) = result?;
+            shards.push(report);
+            shard_sinks.push(sink);
+        }
+        if let Some(out) = sinks {
+            *out = shard_sinks;
+        }
+        Ok(ClusterReport {
+            dispatch,
+            shards,
+            slots: workload.slots,
+        })
+    }
+
+    /// The dispatch pass alone: per-shard workloads plus the routing
+    /// ledger. Exposed so tests (and curious tooling) can inspect
+    /// routing without paying for the shard simulations.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ClusterSim::run_faulted`].
+    #[allow(clippy::too_many_lines)] // one offer loop, kept linear for auditability
+    pub fn dispatch(
+        &self,
+        workload: &Workload,
+        faults: &[ShardFault],
+    ) -> Result<(Vec<Workload>, DispatchReport), ServeError> {
+        if !faults.is_empty() && faults.len() != self.config.shards.len() {
+            return Err(ServeError::InvalidParameter("faults"));
+        }
+        workload.template.validate()?;
+        let full_bits = workload.template.full_bits();
+        let recovery = &self.config.recovery;
+
+        let mut states: Vec<ShardState> = self
+            .config
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                ShardState::new(
+                    cfg.capacity,
+                    full_bits,
+                    faults.get(i).and_then(|f| f.down_from),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let mut balancer = Balancer::new(self.config.balancer, self.config.seed);
+
+        // Shard deaths in slot order; each is harvested for re-offers
+        // exactly once, when the offer stream passes its slot.
+        let mut deaths: Vec<(u64, usize)> = faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.down_from.map(|d| (d, i)))
+            .collect();
+        deaths.sort_unstable();
+        let mut next_death = 0usize;
+
+        let mut heap: BinaryHeap<Reverse<Offer>> = workload
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Reverse(Offer {
+                    slot: s.arrival_slot,
+                    seq: i as u64,
+                    id: s.id,
+                    duration_slots: s.duration_slots,
+                    attempt: 0,
+                })
+            })
+            .collect();
+        let mut next_seq = workload.sessions.len() as u64;
+
+        // Per-shard dispatched sessions, and (arrival, depart, id) of
+        // everything routed to shards that will die — the re-offer
+        // candidates.
+        let mut sessions: Vec<Vec<SessionRequest>> = vec![Vec::new(); self.config.shards.len()];
+        let mut in_flight: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); self.config.shards.len()];
+
+        let mut report = DispatchReport {
+            offered: workload.sessions.len() as u64,
+            shard_sessions: vec![0; self.config.shards.len()],
+            ..DispatchReport::default()
+        };
+
+        loop {
+            // Harvest a shard death once every offer before it has
+            // been routed: the sessions then in flight on the dead
+            // shard are re-offered to the survivors after the first
+            // backoff delay — the cross-shard leg of the retry path.
+            if let Some(&(death_slot, shard)) = deaths.get(next_death) {
+                let stream_passed = heap
+                    .peek()
+                    .is_none_or(|&Reverse(offer)| offer.slot >= death_slot);
+                if stream_passed {
+                    next_death += 1;
+                    for &(arrival, depart, id) in &in_flight[shard] {
+                        // Active at the crash edge, like the in-shard
+                        // crash burst: arrived before the death slot,
+                        // departing at or after it, with playout left.
+                        if arrival < death_slot && depart > death_slot {
+                            report.rerouted += 1;
+                            heap.push(Reverse(Offer {
+                                slot: death_slot + recovery.backoff_slots(0),
+                                seq: next_seq,
+                                id,
+                                duration_slots: depart - death_slot,
+                                attempt: 1,
+                            }));
+                            next_seq += 1;
+                        }
+                    }
+                    in_flight[shard].clear();
+                    continue;
+                }
+            }
+            let Some(Reverse(offer)) = heap.pop() else {
+                break;
+            };
+            if offer.slot >= workload.slots || offer.duration_slots == 0 {
+                // Backed off past the end of the run (or nothing left
+                // to play): an expired offer is a rejection, never a
+                // session the shards saw — keeps `admitted + rejected
+                // == offered` exact at the cluster level.
+                report.balancer_rejected += 1;
+                continue;
+            }
+            for state in &mut states {
+                state.release_until(offer.slot);
+            }
+            match balancer.route(&states, offer.slot, full_bits) {
+                Route::To(shard) => {
+                    let depart = offer.slot + offer.duration_slots;
+                    states[shard].reserve(depart, full_bits);
+                    sessions[shard].push(SessionRequest {
+                        id: offer.id,
+                        arrival_slot: offer.slot,
+                        duration_slots: offer.duration_slots,
+                    });
+                    report.shard_sessions[shard] += 1;
+                    report.dispatched += 1;
+                    if states[shard].dies() {
+                        in_flight[shard].push((offer.slot, depart, offer.id));
+                    }
+                }
+                Route::Refused => {
+                    if offer.attempt < recovery.max_retries {
+                        report.retries += 1;
+                        heap.push(Reverse(Offer {
+                            slot: offer.slot + recovery.backoff_slots(offer.attempt),
+                            seq: next_seq,
+                            attempt: offer.attempt + 1,
+                            ..offer
+                        }));
+                        next_seq += 1;
+                    } else {
+                        report.balancer_rejected += 1;
+                    }
+                }
+            }
+        }
+
+        let workloads = sessions
+            .into_iter()
+            .map(|s| Workload {
+                sessions: s,
+                template: workload.template,
+                slots: workload.slots,
+            })
+            .collect();
+        Ok((workloads, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dms_serve::{
+        rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig,
+        SessionTemplate,
+    };
+
+    fn shard_config(sessions: u64, template: &SessionTemplate) -> ServerConfig {
+        ServerConfig {
+            capacity: CapacityModel {
+                link_bits_per_slot: sessions * template.full_bits(),
+                queue_frames: 64,
+                occupancy_bound: 8.0,
+            },
+            policy: AdmissionPolicy::AdmitAll,
+            degrade: Some(DegradeConfig::default()),
+            buffer_slots: 4,
+            miss_slots: 2,
+        }
+    }
+
+    fn workload(load: f64, capacity_sessions: u64, slots: u64, seed: u64) -> Workload {
+        let mut template = SessionTemplate::streaming_default().expect("preset valid");
+        template.mean_duration_slots = 40.0;
+        let rate = rate_for_load(load, &template, capacity_sessions * template.full_bits());
+        Workload::generate(ArrivalProcess::Poisson { rate }, template, slots, seed)
+            .expect("valid workload")
+    }
+
+    fn cluster(shards: Vec<ServerConfig>, balancer: BalancerPolicy) -> ClusterSim {
+        ClusterSim::new(ClusterConfig {
+            shards,
+            balancer,
+            recovery: RecoveryConfig::default(),
+            seed: 99,
+        })
+        .expect("valid config")
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        let err = ClusterSim::new(ClusterConfig {
+            shards: Vec::new(),
+            balancer: BalancerPolicy::RoundRobin,
+            recovery: RecoveryConfig::default(),
+            seed: 0,
+        })
+        .unwrap_err();
+        assert_eq!(err, ServeError::InvalidParameter("shards"));
+    }
+
+    #[test]
+    fn fault_list_length_must_match() {
+        let wl = workload(0.5, 100, 60, 41);
+        let template = wl.template;
+        let sim = cluster(
+            vec![shard_config(100, &template)],
+            BalancerPolicy::RoundRobin,
+        );
+        let err = sim
+            .run_faulted(&wl, &[ShardFault::default(), ShardFault::default()], None)
+            .unwrap_err();
+        assert_eq!(err, ServeError::InvalidParameter("faults"));
+    }
+
+    #[test]
+    fn dispatch_conserves_every_offer() {
+        let wl = workload(1.3, 200, 120, 42);
+        let template = wl.template;
+        for balancer in [
+            BalancerPolicy::RoundRobin,
+            BalancerPolicy::JoinShortestQueue,
+            BalancerPolicy::PowerOfTwoChoices,
+        ] {
+            let sim = cluster(
+                vec![shard_config(150, &template), shard_config(50, &template)],
+                balancer,
+            );
+            let (shard_wls, d) = sim.dispatch(&wl, &[]).expect("dispatch runs");
+            assert_eq!(d.offered, wl.sessions.len() as u64);
+            assert_eq!(
+                d.dispatched + d.balancer_rejected,
+                d.offered + d.rerouted,
+                "{balancer:?}"
+            );
+            let total: u64 = shard_wls.iter().map(|w| w.sessions.len() as u64).sum();
+            assert_eq!(total, d.dispatched, "{balancer:?}");
+            assert_eq!(d.shard_sessions.iter().sum::<u64>(), d.dispatched);
+        }
+    }
+
+    #[test]
+    fn shard_workloads_stay_sorted_by_arrival() {
+        let wl = workload(1.2, 200, 120, 43);
+        let template = wl.template;
+        let sim = cluster(
+            vec![shard_config(100, &template), shard_config(100, &template)],
+            BalancerPolicy::JoinShortestQueue,
+        );
+        let (shard_wls, _) = sim.dispatch(&wl, &[]).expect("dispatch runs");
+        for w in &shard_wls {
+            assert!(w
+                .sessions
+                .windows(2)
+                .all(|p| p[0].arrival_slot <= p[1].arrival_slot));
+        }
+    }
+
+    #[test]
+    fn dead_shard_gets_no_arrivals_after_its_death_slot() {
+        let wl = workload(0.8, 200, 120, 44);
+        let template = wl.template;
+        let sim = cluster(
+            vec![shard_config(100, &template), shard_config(100, &template)],
+            BalancerPolicy::RoundRobin,
+        );
+        let faults = vec![
+            ShardFault::default(),
+            ShardFault {
+                plan: FaultPlan::none(120),
+                down_from: Some(60),
+            },
+        ];
+        let (shard_wls, d) = sim.dispatch(&wl, &faults).expect("dispatch runs");
+        assert!(shard_wls[1].sessions.iter().all(|s| s.arrival_slot < 60));
+        assert!(d.rerouted > 0, "sessions in flight at the death re-offer");
+        // Re-offers land on the survivor after the first backoff.
+        let backoff = RecoveryConfig::default().backoff_slots(0);
+        assert!(shard_wls[0]
+            .sessions
+            .iter()
+            .any(|s| s.arrival_slot == 60 + backoff));
+    }
+
+    #[test]
+    fn aggregate_utility_sums_elementwise() {
+        let mut a = ServeMetricsSink::with_capacity(2);
+        let mut b = ServeMetricsSink::with_capacity(2);
+        a.record_slot(0, 0, 0, 0, 0, 1.5, 0);
+        a.record_slot(0, 0, 0, 0, 0, 2.5, 0);
+        b.record_slot(0, 0, 0, 0, 0, 0.5, 0);
+        let total = aggregate_utility(&[a, b]);
+        assert_eq!(total, vec![2.0, 2.5]);
+    }
+}

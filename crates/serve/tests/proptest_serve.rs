@@ -8,6 +8,17 @@ use dms_serve::{
 use dms_sim::{FaultPlan, FaultSpec};
 use proptest::prelude::*;
 
+/// Float slack for occupancy comparisons. The predictor computes
+/// occupancy from exact integer bit counts through a handful of f64
+/// multiplies and divides, and the report averages at most a few
+/// hundred such per-slot values — so legitimate rounding drift is a
+/// few hundred ULPs at the bound's magnitude, not an absolute 1e-9.
+/// 512 ULPs (~1e-11 for bounds near 100) keeps the assertions tight
+/// enough to catch any real off-by-a-frame error.
+fn occupancy_slack(bound: f64) -> f64 {
+    512.0 * f64::EPSILON * bound.abs().max(1.0)
+}
+
 /// Strategy: one valid fault spec anywhere inside a 120-slot horizon.
 fn fault_spec() -> impl Strategy<Value = FaultSpec> {
     prop_oneof![
@@ -81,8 +92,10 @@ proptest! {
             if ctl.decide(admitted_bits, d) {
                 admitted_bits += d;
                 let occ = ctl.predicted_occupancy(admitted_bits);
+                // Re-deriving the decision's own prediction: exact up
+                // to rounding, so only ULP-scale slack is admissible.
                 prop_assert!(
-                    occ <= model.occupancy_bound + 1e-9,
+                    occ <= model.occupancy_bound + occupancy_slack(model.occupancy_bound),
                     "admitted set predicts occupancy {occ} > bound {}",
                     model.occupancy_bound
                 );
@@ -110,10 +123,10 @@ proptest! {
             admit_lo || !admit_hi,
             "rejected at active demand {lo} but admitted at {hi}"
         );
-        // The underlying predictor is monotone too.
-        prop_assert!(
-            ctl.predicted_occupancy(lo + candidate) <= ctl.predicted_occupancy(hi + candidate) + 1e-9
-        );
+        // The underlying predictor is monotone too, up to rounding of
+        // the larger prediction.
+        let hi_occ = ctl.predicted_occupancy(hi + candidate);
+        prop_assert!(ctl.predicted_occupancy(lo + candidate) <= hi_occ + occupancy_slack(hi_occ));
     }
 
     /// End to end: a controlled server run admits only while its own
@@ -144,9 +157,10 @@ proptest! {
         prop_assert_eq!(report.admitted + report.rejected, report.offered);
         // Every admitted state satisfied the bound at admission time and
         // departures only lower the demand, so the slot-mean prediction
-        // must sit under the bound too.
+        // must sit under the bound too (slack covers the 120-term mean's
+        // accumulation rounding).
         prop_assert!(
-            report.predicted_occupancy <= capacity.occupancy_bound + 1e-9,
+            report.predicted_occupancy <= capacity.occupancy_bound + occupancy_slack(capacity.occupancy_bound),
             "mean predicted occupancy {} exceeds bound {}",
             report.predicted_occupancy,
             capacity.occupancy_bound

@@ -1,0 +1,165 @@
+//! Property tests for the [`JsonValue`] render/parse pair.
+//!
+//! The run-log layer leans on `parse(render(v))` being the identity —
+//! the CI determinism diffs compare rendered bytes, and the bench
+//! regression guard re-reads what `bench_smoke` wrote. The parser
+//! *normalises* numbers, though: anything without a fraction or
+//! exponent comes back as `Uint` (then `Int`), and non-finite floats
+//! render as `null`. So the property is exact round-tripping over the
+//! *canonical* subset the workspace actually emits — trees whose
+//! numbers are already in normal form — plus explicit checks that the
+//! normalisation edges land where they should.
+
+use dms_sim::JsonValue;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy over canonical-form [`JsonValue`] trees: `Int` only for
+/// negatives (non-negatives parse back as `Uint`), `Float` only for
+/// finite non-integral values (integral floats parse back as integers,
+/// non-finite render as `null`), strings over a palette heavy on
+/// escape-relevant characters, and arrays/objects up to `depth` deep.
+///
+/// The vendored proptest stub has no `prop_recursive`, so recursion is
+/// a hand-rolled `Strategy` impl.
+#[derive(Debug, Clone, Copy)]
+struct CanonicalJson {
+    depth: u32,
+}
+
+/// Characters the string generator draws from: JSON escapes, a raw
+/// control character, multi-byte UTF-8, and plain ASCII.
+const PALETTE: &[char] = &[
+    '"',
+    '\\',
+    '\n',
+    '\r',
+    '\t',
+    '\u{0008}',
+    '\u{000c}',
+    '\u{0001}',
+    '/',
+    ' ',
+    'a',
+    'Z',
+    '0',
+    'é',
+    '\u{2603}',
+    '\u{1f980}',
+];
+
+fn canonical_string(rng: &mut TestRng) -> String {
+    let len = rng.rng().gen_range(0..8usize);
+    (0..len)
+        .map(|_| PALETTE[rng.rng().gen_range(0..PALETTE.len())])
+        .collect()
+}
+
+fn canonical_float(rng: &mut TestRng) -> f64 {
+    // Mix magnitudes so both sides of the decimal point get digits;
+    // resample the (measure-zero) integral draws.
+    loop {
+        let v: f64 = match rng.rng().gen_range(0..3u8) {
+            0 => rng.rng().gen_range(-1.0f64..1.0),
+            1 => rng.rng().gen_range(-1e6f64..1e6),
+            _ => rng.rng().gen_range(-1e12f64..1e12),
+        };
+        if v.is_finite() && v.fract() != 0.0 {
+            return v;
+        }
+    }
+}
+
+impl Strategy for CanonicalJson {
+    type Value = JsonValue;
+
+    fn generate(&self, rng: &mut TestRng) -> JsonValue {
+        // Leaves only at depth 0; containers get rarer than leaves so
+        // expected tree size stays bounded.
+        let arms = if self.depth == 0 { 6 } else { 8 };
+        match rng.rng().gen_range(0..arms) {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(rng.next_u64() & 1 == 1),
+            2 => JsonValue::Uint(rng.next_u64()),
+            3 => JsonValue::Int(-rng.rng().gen_range(1i64..=i64::MAX)),
+            4 => JsonValue::Float(canonical_float(rng)),
+            5 => JsonValue::Str(canonical_string(rng)),
+            6 => {
+                let child = CanonicalJson {
+                    depth: self.depth - 1,
+                };
+                let len = rng.rng().gen_range(0..4usize);
+                JsonValue::Array((0..len).map(|_| child.generate(rng)).collect())
+            }
+            _ => {
+                let child = CanonicalJson {
+                    depth: self.depth - 1,
+                };
+                let len = rng.rng().gen_range(0..4usize);
+                JsonValue::Object(
+                    (0..len)
+                        .map(|i| (format!("{}{i}", canonical_string(rng)), child.generate(rng)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(render(v)) == v` for arbitrary canonical trees — the
+    /// exact-identity contract the run-log byte diffs rest on.
+    #[test]
+    fn render_parse_roundtrips_canonical_trees(v in CanonicalJson { depth: 3 }) {
+        let rendered = v.render();
+        let parsed = JsonValue::parse(&rendered).expect("rendered JSON parses");
+        prop_assert_eq!(&parsed, &v, "render:\n{}", rendered);
+        // Idempotence: a second trip produces identical bytes.
+        prop_assert_eq!(parsed.render(), rendered);
+    }
+
+    /// Strings survive escaping exactly, whatever the palette throws.
+    #[test]
+    fn string_escapes_roundtrip(n in 0u64..u64::MAX) {
+        let mut rng = TestRng::for_test(&format!("palette-{n}"));
+        let s = canonical_string(&mut rng);
+        let v = JsonValue::Str(s.clone());
+        prop_assert_eq!(
+            JsonValue::parse(&v.render()).expect("parses"),
+            JsonValue::Str(s)
+        );
+    }
+}
+
+/// The documented number normalisations: where non-canonical inputs
+/// land after one render/parse trip.
+#[test]
+fn number_normalisation_edges() {
+    let trip = |v: &JsonValue| JsonValue::parse(&v.render()).expect("parses");
+    // Non-negative Int renders without sign and comes back Uint.
+    assert_eq!(trip(&JsonValue::Int(5)), JsonValue::Uint(5));
+    assert_eq!(trip(&JsonValue::Int(0)), JsonValue::Uint(0));
+    // Integral floats render without '.' and come back as integers.
+    assert_eq!(trip(&JsonValue::Float(2.0)), JsonValue::Uint(2));
+    assert_eq!(trip(&JsonValue::Float(-2.0)), JsonValue::Int(-2));
+    // Negative zero renders "-0": not a u64, parses as Int 0.
+    assert_eq!(trip(&JsonValue::Float(-0.0)), JsonValue::Int(0));
+    // Non-finite floats render as null (JSON has no NaN/infinity).
+    assert_eq!(trip(&JsonValue::Float(f64::NAN)), JsonValue::Null);
+    assert_eq!(trip(&JsonValue::Float(f64::INFINITY)), JsonValue::Null);
+    assert_eq!(trip(&JsonValue::Float(f64::NEG_INFINITY)), JsonValue::Null);
+    // Integral floats past u64/i64 range stay floats and round-trip
+    // exactly (Display prints every digit; the nearest double of that
+    // digit string is the original value).
+    let big = 2.0f64.powi(64);
+    assert_eq!(trip(&JsonValue::Float(big)), JsonValue::Float(big));
+    assert_eq!(trip(&JsonValue::Float(-1e300)), JsonValue::Float(-1e300));
+    // Subnormals survive via shortest-round-trip Display.
+    let tiny = f64::MIN_POSITIVE / 4.0;
+    assert_eq!(trip(&JsonValue::Float(tiny)), JsonValue::Float(tiny));
+    // u64::MAX is representable as Uint but not i64.
+    assert_eq!(trip(&JsonValue::Uint(u64::MAX)), JsonValue::Uint(u64::MAX));
+}

@@ -28,7 +28,11 @@
 //!   availability under sensor failures;
 //! * [`serve`] — multi-session streaming server: open-loop workloads,
 //!   analytical admission control, fair multiplexing and FGS-layer QoS
-//!   degradation.
+//!   degradation;
+//! * [`cluster`] — sharded multi-server streaming: N server replicas
+//!   behind a pluggable balancer (round-robin, join-shortest-queue,
+//!   power-of-two-choices) with shard fault plans and deterministic
+//!   crash re-routing.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +69,7 @@
 pub use dms_ambient as ambient;
 pub use dms_analysis as analysis;
 pub use dms_asip as asip;
+pub use dms_cluster as cluster;
 pub use dms_core as core;
 pub use dms_manet as manet;
 pub use dms_media as media;

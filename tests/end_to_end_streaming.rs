@@ -24,8 +24,19 @@ fn fgs_session_meets_video_qos_while_saving_energy() {
     let full = streamer.stream(&frames, StreamingPolicy::FullRate);
     let smart = streamer.stream(&frames, StreamingPolicy::ClientFeedback);
 
-    // Equal quality, strictly less total client energy.
-    assert!((full.mean_psnr_db - smart.mean_psnr_db).abs() < 1e-9);
+    // Equal quality, strictly less total client energy. Both policies
+    // deliver every layer of every frame — feedback only retunes the
+    // radio — so the two means are the same sum over the same frames.
+    // The bound is a few ULPs at PSNR magnitude (~36 dB), guarding
+    // against accumulation-order drift rather than hiding a real gap
+    // behind an arbitrary absolute epsilon.
+    let psnr_tol = 8.0 * f64::EPSILON * full.mean_psnr_db.abs().max(1.0);
+    assert!(
+        (full.mean_psnr_db - smart.mean_psnr_db).abs() <= psnr_tol,
+        "PSNR diverges: full {} vs feedback {}",
+        full.mean_psnr_db,
+        smart.mean_psnr_db
+    );
     assert!(smart.total_energy_j() < full.total_energy_j());
 
     // The delivered quality clears a video QoS floor of 30 dB base +

@@ -1,0 +1,118 @@
+//! Golden run-log snapshots: byte-exact guards over the rendered JSON
+//! of two representative run-logs.
+//!
+//! The CI determinism steps already prove each log is identical across
+//! `DMS_THREADS` *within one build*; these tests pin the bytes across
+//! *commits*. Any change to experiment constants, the metrics schema,
+//! the JSON renderer, or the simulators' arithmetic shows up as a
+//! golden diff that has to be re-blessed deliberately:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test --test golden_runlogs
+//! git diff tests/golden/
+//! ```
+//!
+//! Two snapshots, chosen for coverage-per-byte:
+//!
+//! * `E10.json` — the steady-state experiment's full run-log, the
+//!   oldest table in the suite (analysis + simulation agreement);
+//! * `E14_n2_jsq_crash.json` — a single E14 cluster point (two skewed
+//!   shards, join-shortest-queue, one shard crashing mid-run), built
+//!   through the same export path as `e14_run_log`, so it exercises
+//!   the cluster dispatch ledger, fault harvesting, re-routing, and
+//!   the recovery gauge end to end.
+
+use std::path::PathBuf;
+
+use dms_bench::{
+    e10_steady_state, e14_recovered_fraction, e14_run_point_instrumented, run_log_for, E14Point,
+};
+use dms_cluster::BalancerPolicy;
+use dms_sim::{RunLog, RunRecord};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares the log's rendered bytes against `tests/golden/<name>`,
+/// or rewrites the file when `GOLDEN_REGEN` is set.
+fn assert_matches_golden(log: &RunLog, name: &str) {
+    let mut rendered = log.to_json_string();
+    rendered.push('\n');
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        panic!(
+            "missing golden file {} ({err}); regenerate with \
+             GOLDEN_REGEN=1 cargo test --test golden_runlogs",
+            path.display()
+        )
+    });
+    if rendered != golden {
+        let diff_at = rendered
+            .bytes()
+            .zip(golden.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| rendered.len().min(golden.len()));
+        let line = golden[..diff_at.min(golden.len())].lines().count();
+        panic!(
+            "run-log bytes diverge from {} at byte {diff_at} (line ~{line}); \
+             if the change is intentional, re-bless with \
+             GOLDEN_REGEN=1 cargo test --test golden_runlogs and review the diff",
+            path.display()
+        );
+    }
+}
+
+/// One E14 cluster point rendered into a run-log exactly the way
+/// `e14_run_log` renders each grid point: counter export per scope,
+/// recovery gauge on the crash arm, and an `e14-point` record.
+fn e14_point_log(point: E14Point) -> RunLog {
+    let mut sinks = Vec::new();
+    let report = e14_run_point_instrumented(point, Some(&mut sinks));
+    let mut log = RunLog::new();
+    log.set_meta("experiment", "E14");
+    log.set_meta("point", point.label());
+    let scope = format!("e14/{}", point.label());
+    report.export(log.registry_mut(), &scope);
+    let recovered = e14_recovered_fraction(&sinks);
+    log.registry_mut()
+        .scoped(&scope)
+        .gauge_set("recovered_fraction", recovered);
+    log.push(
+        RunRecord::new("e14-point")
+            .with("label", point.label())
+            .with("shards", point.shards as u64)
+            .with("load", point.load)
+            .with("balancer", point.balancer.label())
+            .with("crash", point.crash)
+            .with("utility_sum", report.utility_sum())
+            .with("mean_utility", report.mean_utility())
+            .with("admitted", report.admitted())
+            .with("rejected", report.rejected())
+            .with("rerouted", report.dispatch.rerouted)
+            .with("recovered_fraction", recovered),
+    );
+    log
+}
+
+#[test]
+fn e10_run_log_matches_golden() {
+    assert_matches_golden(&run_log_for(&e10_steady_state()), "E10.json");
+}
+
+#[test]
+fn e14_cluster_point_matches_golden() {
+    let log = e14_point_log(E14Point {
+        shards: 2,
+        load: 0.7,
+        balancer: BalancerPolicy::JoinShortestQueue,
+        crash: true,
+    });
+    assert_matches_golden(&log, "E14_n2_jsq_crash.json");
+}
