@@ -350,23 +350,45 @@ impl PoissonArrivals {
         self.rate
     }
 
-    /// Generates `n` slots of Poisson counts (Knuth's algorithm; exact
-    /// for the moderate rates used here).
+    /// Generates `n` slots of Poisson counts (Knuth's algorithm).
+    ///
+    /// Knuth's product-of-uniforms needs `exp(-rate) > 0`, which fails
+    /// for `rate` ≳ 708 (the product then only stops on f64 underflow,
+    /// silently capping every count near 745 — at mega-scale rates
+    /// that truncated a third of the offered load). Large rates are
+    /// split into independent ≤ 256 chunks via Poisson additivity,
+    /// `Poisson(a+b) = Poisson(a) + Poisson(b)`; rates at or below the
+    /// chunk size take the single-draw path with the exact same RNG
+    /// consumption as before, so existing seeded streams are unchanged.
     #[must_use]
     pub fn generate(&self, n: usize, rng: &mut SimRng) -> Vec<f64> {
-        let limit = (-self.rate).exp();
+        const CHUNK: f64 = 256.0;
+        fn knuth_draw(limit: f64, rng: &mut SimRng) -> f64 {
+            let mut k = 0u32;
+            let mut p = 1.0;
+            loop {
+                p *= rng.uniform();
+                if p <= limit {
+                    break;
+                }
+                k += 1;
+            }
+            f64::from(k)
+        }
+        let chunks = (self.rate / CHUNK).floor() as u32;
+        let tail = self.rate - f64::from(chunks) * CHUNK;
+        let chunk_limit = (-CHUNK).exp();
+        let tail_limit = (-tail).exp();
         (0..n)
             .map(|_| {
-                let mut k = 0u32;
-                let mut p = 1.0;
-                loop {
-                    p *= rng.uniform();
-                    if p <= limit {
-                        break;
-                    }
-                    k += 1;
+                let mut total = 0.0;
+                for _ in 0..chunks {
+                    total += knuth_draw(chunk_limit, rng);
                 }
-                f64::from(k)
+                if tail > 0.0 {
+                    total += knuth_draw(tail_limit, rng);
+                }
+                total
             })
             .collect()
     }
@@ -603,6 +625,23 @@ mod tests {
     fn poisson_rejects_bad_rate() {
         assert!(PoissonArrivals::new(0.0).is_err());
         assert!(PoissonArrivals::new(f64::NAN).is_err());
+    }
+
+    /// Mega-scale rates (> the ~708 underflow point of the naive Knuth
+    /// draw) must still hit the requested mean — the chunked sampler
+    /// regression. Before chunking, λ = 2000 capped every slot near
+    /// 745 and the mean came out below 0.4 λ.
+    #[test]
+    fn poisson_large_rate_is_not_truncated() {
+        let gen = PoissonArrivals::new(2_000.0).expect("valid");
+        let counts = gen.generate(500, &mut SimRng::new(43));
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        assert!(
+            (mean / 2_000.0 - 1.0).abs() < 0.01,
+            "mean {mean} should be ~2000"
+        );
+        let max = counts.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max > 1_000.0, "max {max} still looks truncated");
     }
 
     #[test]

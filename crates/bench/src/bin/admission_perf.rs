@@ -1,0 +1,24 @@
+//! Micro-bench: direct M/M/1/K admission evaluation vs the
+//! count-keyed memo.
+//!
+//! Run with: `cargo run --release -p dms-bench --bin admission_perf
+//! [decisions]` (default 2^20). The counts cycle through the full
+//! decision surface, so the memo pays its miss path too.
+//! `bench_smoke` records the same comparison into
+//! `BENCH_experiments.json`.
+
+fn main() {
+    let decisions: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("decisions must be a number"))
+        .unwrap_or(1 << 20);
+    println!("# admission_perf ({decisions} decisions, counts cycling 0..2000)\n");
+    let timings = dms_bench::micro::admission_micro(decisions);
+    for t in &timings {
+        t.print();
+    }
+    println!(
+        "\nmemo vs direct: {:.2}x",
+        timings[0].seconds / timings[1].seconds.max(1e-12)
+    );
+}

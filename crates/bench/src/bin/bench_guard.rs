@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p dms-bench --bin bench_guard -- \
-//!     BENCH_experiments.json fresh.json [--factor 2.0]
+//!     BENCH_experiments.json fresh.json [--factor 2.0] \
+//!     [--min-throughput 30000]
 //! ```
 //!
 //! For every experiment id present in both files the guard checks
@@ -14,6 +15,13 @@
 //! jitter dwarfs the signal) from tripping the guard; the factor (2×
 //! by default) is deliberately loose — this is a tripwire for
 //! accidental O(n²) regressions, not a performance SLO.
+//!
+//! `--min-throughput X` additionally holds an *absolute* floor: every
+//! `server-*` point of the fresh file's `e15_mega_scale` section must
+//! report at least `X` sessions/sec/core. Unlike the relative factor,
+//! this floor cannot ratchet downward across baseline regenerations —
+//! an engine that drops back to seed-era per-session cost fails even
+//! if the committed baseline regressed with it.
 //!
 //! Exits 0 when every experiment is inside the envelope, 1 on any
 //! regression, 2 on malformed input.
@@ -26,8 +34,36 @@ use dms_sim::JsonValue;
 const NOISE_FLOOR_SECONDS: f64 = 0.05;
 
 fn fail_usage() -> ! {
-    eprintln!("usage: bench_guard <baseline.json> <new.json> [--factor 2.0]");
+    eprintln!(
+        "usage: bench_guard <baseline.json> <new.json> [--factor 2.0] [--min-throughput 30000]"
+    );
     std::process::exit(2);
+}
+
+/// Extracts `{point -> sessions/sec/core}` from the `e15_mega_scale`
+/// section of a `BENCH_experiments.json` tree. Missing section is a
+/// hard error when a throughput floor was requested: silently skipping
+/// would turn the floor off.
+fn e15_throughputs(root: &JsonValue, path: &str) -> Vec<(String, f64)> {
+    let Some(points) = root.get("e15_mega_scale").and_then(JsonValue::as_array) else {
+        eprintln!("{path}: no `e15_mega_scale` array (needed for --min-throughput)");
+        std::process::exit(2);
+    };
+    let mut out = Vec::new();
+    for entry in points {
+        let point = entry.get("point").and_then(JsonValue::as_str);
+        let throughput = entry
+            .get("sessions_per_sec_core")
+            .and_then(JsonValue::as_f64);
+        match (point, throughput) {
+            (Some(point), Some(throughput)) => out.push((point.to_string(), throughput)),
+            _ => {
+                eprintln!("{path}: malformed e15_mega_scale entry");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
 }
 
 /// Extracts `{id -> seconds}` from a `BENCH_experiments.json` tree.
@@ -65,6 +101,7 @@ fn load(path: &str) -> JsonValue {
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut factor = 2.0f64;
+    let mut min_throughput: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--factor" {
@@ -72,6 +109,13 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| fail_usage());
+        } else if arg == "--min-throughput" {
+            min_throughput = Some(
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| fail_usage()),
+            );
         } else {
             paths.push(arg);
         }
@@ -80,7 +124,8 @@ fn main() {
         fail_usage();
     }
     let baseline = experiment_seconds(&load(&paths[0]), &paths[0]);
-    let fresh = experiment_seconds(&load(&paths[1]), &paths[1]);
+    let fresh_root = load(&paths[1]);
+    let fresh = experiment_seconds(&fresh_root, &paths[1]);
 
     let mut regressions = 0u32;
     let mut compared = 0u32;
@@ -106,8 +151,38 @@ fn main() {
             println!("{id:>6}  present in baseline but missing from new run");
         }
     }
-    if regressions > 0 {
-        eprintln!("bench_guard: {regressions} of {compared} experiments exceed {factor}x baseline");
+    let mut floor_failures = 0u32;
+    if let Some(floor) = min_throughput {
+        let mut server_points = 0u32;
+        for (point, throughput) in e15_throughputs(&fresh_root, &paths[1]) {
+            if !point.starts_with("server-") {
+                continue;
+            }
+            server_points += 1;
+            let verdict = if throughput < floor {
+                floor_failures += 1;
+                "BELOW FLOOR"
+            } else {
+                "ok"
+            };
+            println!(
+                "{point:>14}  {throughput:10.0} sessions/s/core  floor {floor:10.0}  {verdict}"
+            );
+        }
+        if server_points == 0 {
+            eprintln!("{}: e15_mega_scale has no server-* points", paths[1]);
+            std::process::exit(2);
+        }
+    }
+    if regressions > 0 || floor_failures > 0 {
+        if regressions > 0 {
+            eprintln!(
+                "bench_guard: {regressions} of {compared} experiments exceed {factor}x baseline"
+            );
+        }
+        if floor_failures > 0 {
+            eprintln!("bench_guard: {floor_failures} E15 server points below the throughput floor");
+        }
         std::process::exit(1);
     }
     println!("bench_guard: {compared} experiments within {factor}x of baseline");

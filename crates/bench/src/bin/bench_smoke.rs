@@ -41,7 +41,7 @@ fn main() {
     // Per-experiment timings, isolated: sequential inside and out
     // (DMS_THREADS=1), so the numbers are comparable across machines.
     std::env::set_var("DMS_THREADS", "1");
-    const EXPERIMENTS: [fn() -> Experiment; 20] = [
+    const EXPERIMENTS: [fn() -> Experiment; 21] = [
         dms_bench::fig1_stream,
         dms_bench::fig2_design_flow,
         dms_bench::e1_asip_speedup,
@@ -58,6 +58,7 @@ fn main() {
         dms_bench::e12_server_load,
         dms_bench::e13_resilience,
         dms_bench::e14_scale_out,
+        dms_bench::e15_mega_scale,
         dms_bench::x1_lip_sync,
         dms_bench::x2_ctmc_transient,
         dms_bench::x3_mapped_validation,
@@ -155,6 +156,73 @@ fn main() {
         );
         e14_points_timed.push((point.label(), secs));
     }
+
+    // E15 mega-scale sweep: sessions/sec/core and peak RSS at
+    // 10^4/10^5/10^6 sessions, server and 8-shard cluster arms, plus
+    // the seed reference engine up to 10^5 as the speed-up baseline.
+    // DMS_THREADS=1 (still set) keeps per-core throughput honest on
+    // any host; the points run smallest-first so the monotone VmHWM
+    // high-water mark attributes to the largest run so far.
+    println!("\nE15 mega-scale points (sessions/sec/core at DMS_THREADS=1):");
+    struct E15Timed {
+        label: String,
+        offered: u64,
+        seconds: f64,
+        throughput: f64,
+        peak_rss: u64,
+    }
+    let mut e15_timed: Vec<E15Timed> = Vec::new();
+    for point in dms_bench::e15_points() {
+        // Workload generation is shared by every arm and isn't engine
+        // work — build it outside the timed window.
+        let workload = dms_bench::e15_workload(point.sessions);
+        let mut outcome = None;
+        let secs = seconds_of(|| {
+            outcome = Some(dms_bench::e15_run_point_on(point, &workload));
+        });
+        let o = outcome.expect("point ran");
+        let throughput = o.offered as f64 / secs.max(1e-9);
+        let peak_rss = dms_bench::peak_rss_bytes().unwrap_or(0);
+        println!(
+            "  {:<16} {:8.3} s  {:>8} offered  {:>10.0} sessions/s/core  rss {:7.1} MiB",
+            point.label(),
+            secs,
+            o.offered,
+            throughput,
+            peak_rss as f64 / (1024.0 * 1024.0)
+        );
+        e15_timed.push(E15Timed {
+            label: point.label(),
+            offered: o.offered,
+            seconds: secs,
+            throughput,
+            peak_rss,
+        });
+    }
+    let e15_secs = |label: &str| {
+        e15_timed
+            .iter()
+            .find(|t| t.label == label)
+            .map(|t| t.seconds)
+            .expect("point was timed")
+    };
+    let e15_speedup_100k = e15_secs("reference-100k") / e15_secs("server-100k").max(1e-9);
+    println!("  arena vs reference at 10^5 sessions: {e15_speedup_100k:.1}x");
+
+    // Micro-kernels behind the E15 numbers: event scheduling, the
+    // per-slot multiplexer pass, memoised admission. Same comparisons
+    // as the event_queue_perf / multiplexer_perf / admission_perf
+    // bins, recorded here so the JSON carries them.
+    println!("\nmicro-kernels:");
+    let micro_timed: Vec<dms_bench::micro::MicroTiming> =
+        dms_bench::micro::event_queue_micro(1 << 20)
+            .into_iter()
+            .chain(dms_bench::micro::multiplexer_micro(20_000))
+            .chain(dms_bench::micro::admission_micro(1 << 20))
+            .collect();
+    for t in &micro_timed {
+        t.print();
+    }
     std::env::remove_var("DMS_THREADS");
 
     // Sink overhead: the heaviest sweep point with no sink (the hot
@@ -206,6 +274,18 @@ fn main() {
     }
     for (label, secs) in &e14_points_timed {
         registry.gauge_set(&format!("e14/{label}/seconds"), *secs);
+    }
+    for t in &e15_timed {
+        let mut s = registry.scoped(&format!("e15/{}", t.label));
+        s.gauge_set("seconds", t.seconds);
+        s.gauge_set("sessions_per_sec_core", t.throughput);
+        s.gauge_set("peak_rss_bytes", t.peak_rss as f64);
+    }
+    registry.gauge_set("e15/arena_vs_reference_speedup_100k", e15_speedup_100k);
+    for t in &micro_timed {
+        let mut s = registry.scoped(&format!("micro/{}", t.name));
+        s.gauge_set("seconds", t.seconds);
+        s.gauge_set("ops_per_sec", t.ops_per_sec());
     }
     {
         let mut s = registry.scoped("e12_sink_overhead");
@@ -280,6 +360,46 @@ fn main() {
                         JsonValue::Object(vec![
                             ("point".to_string(), JsonValue::from(label.as_str())),
                             ("seconds".to_string(), JsonValue::Float(*secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "e15_mega_scale".to_string(),
+            JsonValue::Array(
+                e15_timed
+                    .iter()
+                    .map(|t| {
+                        JsonValue::Object(vec![
+                            ("point".to_string(), JsonValue::from(t.label.as_str())),
+                            ("offered_sessions".to_string(), JsonValue::from(t.offered)),
+                            ("seconds".to_string(), JsonValue::Float(t.seconds)),
+                            (
+                                "sessions_per_sec_core".to_string(),
+                                JsonValue::Float(t.throughput),
+                            ),
+                            ("peak_rss_bytes".to_string(), JsonValue::from(t.peak_rss)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "e15_arena_vs_reference_speedup_100k".to_string(),
+            JsonValue::Float(e15_speedup_100k),
+        ),
+        (
+            "micro_kernels".to_string(),
+            JsonValue::Array(
+                micro_timed
+                    .iter()
+                    .map(|t| {
+                        JsonValue::Object(vec![
+                            ("name".to_string(), JsonValue::from(t.name)),
+                            ("ops".to_string(), JsonValue::from(t.ops)),
+                            ("seconds".to_string(), JsonValue::Float(t.seconds)),
+                            ("ops_per_sec".to_string(), JsonValue::Float(t.ops_per_sec())),
                         ])
                     })
                     .collect(),

@@ -1,0 +1,26 @@
+//! Micro-bench: timing-wheel event queue vs the seed binary heap.
+//!
+//! Run with: `cargo run --release -p dms-bench --bin event_queue_perf
+//! [events]` (default 2^20). Prints both sides and the speed-up;
+//! `bench_smoke` records the same comparison into
+//! `BENCH_experiments.json`.
+
+fn main() {
+    let events: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("events must be a number"))
+        .unwrap_or(1 << 20);
+    println!("# event_queue_perf ({events} events per regime, sliding window)\n");
+    let timings = dms_bench::micro::event_queue_micro(events);
+    for t in &timings {
+        t.print();
+    }
+    println!(
+        "\nsmall regime (~2k live)  wheel vs heap: {:.2}x",
+        timings[1].seconds / timings[0].seconds.max(1e-12)
+    );
+    println!(
+        "mega regime (~256k live) wheel vs heap: {:.2}x",
+        timings[3].seconds / timings[2].seconds.max(1e-12)
+    );
+}

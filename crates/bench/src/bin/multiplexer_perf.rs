@@ -1,0 +1,24 @@
+//! Micro-bench: the per-slot multiplexer pass on the arena engine vs
+//! the seed reference engine.
+//!
+//! Run with: `cargo run --release -p dms-bench --bin multiplexer_perf
+//! [sessions]` (default 20000). Every session spans the whole
+//! horizon, so each slot is one full water-filling pass; ops are
+//! session-slots. `bench_smoke` records the same comparison into
+//! `BENCH_experiments.json`.
+
+fn main() {
+    let sessions: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("sessions must be a number"))
+        .unwrap_or(20_000);
+    println!("# multiplexer_perf ({sessions} concurrent sessions, 64 slots)\n");
+    let timings = dms_bench::micro::multiplexer_micro(sessions);
+    for t in &timings {
+        t.print();
+    }
+    println!(
+        "\narena vs reference: {:.2}x",
+        timings[1].seconds / timings[0].seconds.max(1e-12)
+    );
+}

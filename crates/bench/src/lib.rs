@@ -8,6 +8,8 @@
 //!
 //! Seeds are fixed so every number here is reproducible bit-for-bit.
 
+pub mod micro;
+
 use dms_ambient::smartspace::SmartSpace;
 use dms_analysis::{
     aggregate_variance_hurst, FractionalGaussianNoise, PoissonArrivals, ProducerConsumerChain,
@@ -31,8 +33,8 @@ use dms_noc::topology::{Mesh2d, TileId};
 use dms_noc::traffic::InjectionProcess;
 use dms_serve::{
     corruption_burst, rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig,
-    FaultReport, RecoveryConfig, ServeMetricsSink, ServerConfig, ServerReport, ServerSim,
-    SessionTemplate, Workload,
+    FaultReport, RecoveryConfig, ReferenceServerSim, ServeMetricsSink, ServerConfig, ServerReport,
+    ServerSim, SessionTemplate, Workload,
 };
 use dms_sim::{FaultPlan, FaultSpec, MetricsRegistry, ParRunner, RunLog, RunRecord, SimRng};
 use dms_wireless::channel::FadingChannel;
@@ -813,6 +815,7 @@ pub fn run_log_for(exp: &Experiment) -> RunLog {
         "E12" => e12_run_log(),
         "E13" => e13_run_log(),
         "E14" => e14_run_log(),
+        "E15" => e15_run_log(),
         _ => RunLog::new(),
     };
     log.set_meta("experiment", exp.id);
@@ -1725,6 +1728,401 @@ pub fn e14_scale_out() -> Experiment {
     }
 }
 
+/// Slots per E15 run. Short in slots, huge in sessions: the sweep
+/// scales the arrival rate, not the horizon, so wall-clock measures
+/// per-session engine cost.
+const E15_SLOTS: u64 = 500;
+
+/// Mean session duration in slots — 1/4 of the horizon, so steady
+/// state is reached early and concurrency ≈ sessions/4.
+const E15_DURATION_SLOTS: f64 = 125.0;
+
+/// Offered load relative to link capacity. Right at the knee: the
+/// admission predictor works for a living and the multiplexer's
+/// water-filling pass sees a full link every slot.
+const E15_LOAD: f64 = 1.0;
+
+/// The mega-scale sweep sizes: target offered sessions per run.
+pub const E15_SESSION_COUNTS: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+/// Largest size the seed reference engine still runs at. Its
+/// `Vec::retain` departure path is O(k·n); at 10^6 sessions that is
+/// tens of minutes of wall time, so the comparison arm stops at 10^5.
+pub const E15_REFERENCE_MAX_SESSIONS: u64 = 100_000;
+
+/// Shards of the cluster arm: equal slices of the server arm's link.
+const E15_SHARDS: usize = 8;
+
+/// Workload seed base (offset by the session count, so every size is
+/// an independent but fixed draw).
+const E15_WORKLOAD_SEED: u64 = 1504;
+
+/// Balancer candidate-stream seed of the cluster arm.
+const E15_BALANCER_SEED: u64 = 1509;
+
+/// Session count of the reduced deterministic point that CI diffs
+/// across `DMS_THREADS` and `all_experiments` reports. Big enough to
+/// hold thousands of concurrent sessions through the arena, small
+/// enough for debug-build test runs.
+pub const E15_REDUCED_SESSIONS: u64 = 20_000;
+
+/// Which engine serves an E15 point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum E15Arm {
+    /// The arena-engine [`ServerSim`]: one link, one admission
+    /// controller, timing-wheel scheduler, SoA session store.
+    Server,
+    /// Eight equal shards behind the JSQ balancer — the same total
+    /// link, scaled out.
+    Cluster8,
+    /// The seed engine kept verbatim as [`ReferenceServerSim`]:
+    /// binary-heap events, retain-based departures. The baseline the
+    /// ≥5x headline is measured against.
+    Reference,
+}
+
+impl E15Arm {
+    /// Stable label used in point names and the timing JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            E15Arm::Server => "server",
+            E15Arm::Cluster8 => "cluster8",
+            E15Arm::Reference => "reference",
+        }
+    }
+}
+
+/// One point of the E15 mega-scale grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct E15Point {
+    /// Target offered-session count over the whole run.
+    pub sessions: u64,
+    /// Which engine serves the workload.
+    pub arm: E15Arm,
+}
+
+impl E15Point {
+    /// Stable point label, e.g. `server-100k`.
+    #[must_use]
+    pub fn label(self) -> String {
+        let size = match self.sessions {
+            10_000 => "10k".to_string(),
+            100_000 => "100k".to_string(),
+            1_000_000 => "1m".to_string(),
+            other => other.to_string(),
+        };
+        format!("{}-{size}", self.arm.label())
+    }
+}
+
+/// The counters every E15 arm reports, cluster and server alike.
+#[derive(Debug, Clone, Copy)]
+pub struct E15Outcome {
+    /// Sessions the workload actually offered (Poisson draw around
+    /// the point's target).
+    pub offered: u64,
+    /// Sessions admitted by the predictor (or the balancer mirrors).
+    pub admitted: u64,
+    /// Playout-deadline misses across the run.
+    pub deadline_misses: u64,
+    /// Summed delivered utility.
+    pub utility_sum: f64,
+    /// Mean per-session-slot utility.
+    pub mean_utility: f64,
+}
+
+/// The full E15 grid: every size × arm, minus the reference arm at
+/// sizes its O(k·n) departure path cannot afford. Ordered smallest
+/// size first so a monotone RSS high-water mark read after each point
+/// attributes to the largest run so far.
+#[must_use]
+pub fn e15_points() -> Vec<E15Point> {
+    let mut points = Vec::new();
+    for &sessions in &E15_SESSION_COUNTS {
+        points.push(E15Point {
+            sessions,
+            arm: E15Arm::Server,
+        });
+        points.push(E15Point {
+            sessions,
+            arm: E15Arm::Cluster8,
+        });
+        if sessions <= E15_REFERENCE_MAX_SESSIONS {
+            points.push(E15Point {
+                sessions,
+                arm: E15Arm::Reference,
+            });
+        }
+    }
+    points
+}
+
+fn e15_template() -> SessionTemplate {
+    let mut template = SessionTemplate::streaming_default().expect("preset valid");
+    template.mean_duration_slots = E15_DURATION_SLOTS;
+    template
+}
+
+/// Link capacity sized so `sessions` offered over the horizon is
+/// exactly [`E15_LOAD`]× the link: steady-state concurrency
+/// (`sessions · duration / slots`) at the full-quality session rate.
+fn e15_capacity_bits(sessions: u64, template: &SessionTemplate) -> u64 {
+    let concurrent = sessions as f64 * E15_DURATION_SLOTS / E15_SLOTS as f64 / E15_LOAD;
+    concurrent.round() as u64 * template.full_bits()
+}
+
+/// The seeded workload of one E15 size.
+#[must_use]
+pub fn e15_workload(sessions: u64) -> Workload {
+    let template = e15_template();
+    let rate = rate_for_load(E15_LOAD, &template, e15_capacity_bits(sessions, &template));
+    Workload::generate(
+        ArrivalProcess::Poisson { rate },
+        template,
+        E15_SLOTS,
+        E15_WORKLOAD_SEED + sessions,
+    )
+    .expect("valid workload")
+}
+
+fn e15_server_config(sessions: u64, template: &SessionTemplate) -> ServerConfig {
+    ServerConfig {
+        capacity: CapacityModel {
+            link_bits_per_slot: e15_capacity_bits(sessions, template),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        },
+        policy: AdmissionPolicy::QueuePredictor,
+        degrade: None,
+        buffer_slots: 4,
+        miss_slots: 2,
+    }
+}
+
+/// Runs the single-server arena-engine arm on a pre-built workload.
+///
+/// Timing harnesses build the workload untimed and call this, so the
+/// sweep measures the engine, not the arrival-process generator both
+/// arms share.
+#[must_use]
+pub fn e15_run_server_on(sessions: u64, workload: &Workload) -> ServerReport {
+    ServerSim::new(e15_server_config(sessions, &workload.template))
+        .expect("valid config")
+        .run(workload)
+        .expect("valid workload")
+}
+
+/// Runs the single-server arena-engine arm at one size.
+#[must_use]
+pub fn e15_run_server(sessions: u64) -> ServerReport {
+    e15_run_server_on(sessions, &e15_workload(sessions))
+}
+
+/// Runs the seed reference engine on the *identical* workload and
+/// config. Its report must equal [`e15_run_server`]'s bit for bit —
+/// the reduced experiment and the differential proptests both pin
+/// that — so the only difference left to measure is speed.
+#[must_use]
+pub fn e15_run_reference(sessions: u64) -> ServerReport {
+    e15_run_reference_on(sessions, &e15_workload(sessions))
+}
+
+/// [`e15_run_reference`] on a pre-built workload (see
+/// [`e15_run_server_on`]).
+#[must_use]
+pub fn e15_run_reference_on(sessions: u64, workload: &Workload) -> ServerReport {
+    ReferenceServerSim::new(e15_server_config(sessions, &workload.template))
+        .expect("valid config")
+        .run(workload)
+        .expect("valid workload")
+}
+
+/// Runs the 8-shard cluster arm: the server arm's link cut into equal
+/// admit-all shards behind the JSQ balancer, mirror predictors doing
+/// the admission the single server's controller did.
+#[must_use]
+pub fn e15_run_cluster(sessions: u64) -> ClusterReport {
+    e15_run_cluster_on(sessions, &e15_workload(sessions))
+}
+
+/// [`e15_run_cluster`] on a pre-built workload (see
+/// [`e15_run_server_on`]).
+#[must_use]
+pub fn e15_run_cluster_on(sessions: u64, workload: &Workload) -> ClusterReport {
+    let shard_bits = e15_capacity_bits(sessions, &workload.template) / E15_SHARDS as u64;
+    let shards = (0..E15_SHARDS)
+        .map(|_| ServerConfig {
+            capacity: CapacityModel {
+                link_bits_per_slot: shard_bits,
+                queue_frames: 64,
+                occupancy_bound: 8.0,
+            },
+            policy: AdmissionPolicy::AdmitAll,
+            degrade: None,
+            buffer_slots: 4,
+            miss_slots: 2,
+        })
+        .collect();
+    ClusterSim::new(ClusterConfig {
+        shards,
+        balancer: BalancerPolicy::JoinShortestQueue,
+        recovery: RecoveryConfig::default(),
+        seed: E15_BALANCER_SEED,
+    })
+    .expect("valid config")
+    .run(workload)
+    .expect("valid workload")
+}
+
+/// Runs one E15 point and flattens its report into the common
+/// counters. The run itself is deterministic at any `DMS_THREADS`;
+/// timing wrappers live in `bench_smoke`.
+#[must_use]
+pub fn e15_run_point(point: E15Point) -> E15Outcome {
+    e15_run_point_on(point, &e15_workload(point.sessions))
+}
+
+/// [`e15_run_point`] on a pre-built workload, so timing harnesses can
+/// keep workload generation outside the measured window.
+#[must_use]
+pub fn e15_run_point_on(point: E15Point, workload: &Workload) -> E15Outcome {
+    match point.arm {
+        E15Arm::Server => {
+            let r = e15_run_server_on(point.sessions, workload);
+            E15Outcome {
+                offered: r.offered,
+                admitted: r.admitted,
+                deadline_misses: r.deadline_misses,
+                utility_sum: r.utility_sum,
+                mean_utility: r.mean_utility(),
+            }
+        }
+        E15Arm::Reference => {
+            let r = e15_run_reference_on(point.sessions, workload);
+            E15Outcome {
+                offered: r.offered,
+                admitted: r.admitted,
+                deadline_misses: r.deadline_misses,
+                utility_sum: r.utility_sum,
+                mean_utility: r.mean_utility(),
+            }
+        }
+        E15Arm::Cluster8 => {
+            let r = e15_run_cluster_on(point.sessions, workload);
+            E15Outcome {
+                offered: r.offered(),
+                admitted: r.admitted(),
+                deadline_misses: r.deadline_misses(),
+                utility_sum: r.utility_sum(),
+                mean_utility: r.mean_utility(),
+            }
+        }
+    }
+}
+
+/// Peak resident-set size of this process so far, in bytes (Linux
+/// `VmHWM` from `/proc/self/status`); `None` where procfs is absent.
+/// The high-water mark is monotone over the process lifetime, so
+/// per-phase samples attribute only when phases run smallest-first —
+/// which [`e15_points`] guarantees for the mega-scale sweep.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Builds the E15 run-log: the reduced point's counters for all three
+/// arms. Wall-clock and RSS deliberately stay out — run-logs are
+/// byte-diffed across `DMS_THREADS` in CI, so they carry only
+/// deterministic fields; the timings live in `BENCH_experiments.json`.
+#[must_use]
+pub fn e15_run_log() -> RunLog {
+    let points: Vec<E15Point> = [E15Arm::Server, E15Arm::Cluster8, E15Arm::Reference]
+        .iter()
+        .map(|&arm| E15Point {
+            sessions: E15_REDUCED_SESSIONS,
+            arm,
+        })
+        .collect();
+    let results = ParRunner::new().map(&points, |&point| e15_run_point(point));
+    let mut log = RunLog::new();
+    log.set_meta("experiment", "E15");
+    log.set_meta("slots", E15_SLOTS.to_string());
+    log.set_meta("reduced_sessions", E15_REDUCED_SESSIONS.to_string());
+    for (point, outcome) in points.iter().zip(&results) {
+        log.push(
+            RunRecord::new("e15-point")
+                .with("label", point.label())
+                .with("sessions_target", point.sessions)
+                .with("offered", outcome.offered)
+                .with("admitted", outcome.admitted)
+                .with("deadline_misses", outcome.deadline_misses)
+                .with("utility_sum", outcome.utility_sum)
+                .with("mean_utility", outcome.mean_utility),
+        );
+    }
+    log
+}
+
+/// E15 — the million-session engine, checked at the reduced size CI
+/// can afford: the arena engine must reproduce the seed reference
+/// engine's report bit for bit, and the 8-shard fleet must track the
+/// single link it was cut from. The timed 10^4/10^5/10^6 sweep
+/// (sessions/sec/core, peak RSS, ≥5x over the reference at 10^5)
+/// runs in `bench_smoke` and lands in `BENCH_experiments.json`, where
+/// `bench_guard --min-throughput` holds the floor.
+#[must_use]
+pub fn e15_mega_scale() -> Experiment {
+    let reports = ParRunner::new().run(2, |i| {
+        if i == 0 {
+            e15_run_server(E15_REDUCED_SESSIONS)
+        } else {
+            e15_run_reference(E15_REDUCED_SESSIONS)
+        }
+    });
+    let (server, reference) = (reports[0], reports[1]);
+    let cluster = e15_run_cluster(E15_REDUCED_SESSIONS);
+    Experiment {
+        id: "E15",
+        title: "Mega-scale engine: timing-wheel + arena vs the seed engine (S2.2, S4)",
+        rows: vec![
+            Row::new(
+                format!("sessions offered / admitted at the reduced {E15_REDUCED_SESSIONS}-session point"),
+                "predictor admits to the knee at 1.0x load",
+                format!(
+                    "{} / {} ({:.0}%)",
+                    server.offered,
+                    server.admitted,
+                    server.admitted as f64 / server.offered as f64 * 100.0
+                ),
+            ),
+            Row::new(
+                "arena engine vs seed reference engine, full report",
+                "bit-for-bit identical",
+                format!("identical = {}", server == reference),
+            ),
+            Row::new(
+                "mean utility, single link vs 8-shard jsq fleet",
+                "the fleet tracks the link it was cut from",
+                format!("{:.3} vs {:.3}", server.mean_utility(), cluster.mean_utility()),
+            ),
+            Row::new(
+                "deadline misses (server / fleet)",
+                "admission keeps misses bounded at the knee",
+                format!("{} / {}", server.deadline_misses, cluster.deadline_misses()),
+            ),
+            Row::new(
+                "mega-scale sweep (10^4 / 10^5 / 10^6 sessions)",
+                "timed out-of-band",
+                "bench_smoke -> BENCH_experiments.json: sessions/sec/core, peak RSS, >= 5x vs reference at 10^5",
+            ),
+        ],
+    }
+}
+
 /// X1 — lip synchronisation (extension; §2.1's temporal relationship,
 /// not a numbered claim of the paper).
 #[must_use]
@@ -1898,7 +2296,7 @@ pub fn x4_arq_packet_size() -> Experiment {
 /// (`DMS_THREADS=1` forces that loop back).
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {
-    const EXPERIMENTS: [fn() -> Experiment; 20] = [
+    const EXPERIMENTS: [fn() -> Experiment; 21] = [
         fig1_stream,
         fig2_design_flow,
         e1_asip_speedup,
@@ -1915,6 +2313,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         e12_server_load,
         e13_resilience,
         e14_scale_out,
+        e15_mega_scale,
         x1_lip_sync,
         x2_ctmc_transient,
         x3_mapped_validation,

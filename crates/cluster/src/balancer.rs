@@ -18,7 +18,7 @@
 //! dispatcher calls them from a single sequential pass over the offer
 //! stream, so routing is byte-identical at any `DMS_THREADS`.
 
-use dms_serve::{AdmissionController, AdmissionPolicy, CapacityModel, ServeError};
+use dms_serve::{AdmissionController, AdmissionMemo, AdmissionPolicy, CapacityModel, ServeError};
 use dms_sim::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +65,12 @@ pub(crate) struct ShardState {
     /// Aggregate full-quality demand of sessions currently routed
     /// here, bits per slot.
     reserved_bits: u64,
+    /// Count-keyed memo over the mirror's M/M/1/K evaluations. Every
+    /// offer in this cluster demands exactly `frame_bits`, so the
+    /// reserved ledger stays a whole number of frames and the mirror's
+    /// predicate/occupancy depend only on the session count — one
+    /// analytical evaluation per count instead of one per offer.
+    memo: AdmissionMemo,
     /// Reserved sessions' `(depart_slot, bits)`, a min-heap via sorted
     /// insertion being unnecessary: releases pop anything due.
     departures: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
@@ -77,6 +83,7 @@ impl ShardState {
         capacity: CapacityModel,
         frame_bits: u64,
         down_from: Option<u64>,
+        expected_sessions: usize,
     ) -> Result<Self, ServeError> {
         Ok(ShardState {
             mirror: AdmissionController::new(
@@ -86,7 +93,8 @@ impl ShardState {
             )?,
             capacity_bits: capacity.link_bits_per_slot,
             reserved_bits: 0,
-            departures: std::collections::BinaryHeap::new(),
+            memo: AdmissionMemo::new(),
+            departures: std::collections::BinaryHeap::with_capacity(expected_sessions),
             down_from,
         })
     }
@@ -126,14 +134,29 @@ impl ShardState {
         self.reserved_bits as f64 / self.capacity_bits as f64
     }
 
-    /// Predicted mean occupancy if `bits` more demand joins.
-    fn occupancy_with(&self, bits: u64) -> f64 {
-        self.mirror.predicted_occupancy(self.reserved_bits + bits)
+    /// Predicted mean occupancy if `bits` more demand joins. Served
+    /// from the count-keyed memo on the frame-aligned hot path (every
+    /// dispatch offer); bit-identical to the direct evaluation.
+    fn occupancy_with(&mut self, bits: u64) -> f64 {
+        let frame = self.mirror.frame_bits();
+        if bits == frame && self.reserved_bits.is_multiple_of(frame) {
+            self.memo
+                .predicted_occupancy(&self.mirror, self.reserved_bits / frame + 1)
+        } else {
+            self.mirror.predicted_occupancy(self.reserved_bits + bits)
+        }
     }
 
-    /// Mirror admission predicate for `bits` more demand.
-    fn would_admit(&self, bits: u64) -> bool {
-        self.mirror.would_admit(self.reserved_bits, bits)
+    /// Mirror admission predicate for `bits` more demand; memoised
+    /// like [`ShardState::occupancy_with`].
+    fn would_admit(&mut self, bits: u64) -> bool {
+        let frame = self.mirror.frame_bits();
+        if bits == frame && self.reserved_bits.is_multiple_of(frame) {
+            self.memo
+                .would_admit(&self.mirror, self.reserved_bits / frame)
+        } else {
+            self.mirror.would_admit(self.reserved_bits, bits)
+        }
     }
 }
 
@@ -154,6 +177,9 @@ pub(crate) struct Balancer {
     policy: BalancerPolicy,
     cursor: usize,
     rng: SimRng,
+    /// Live-shard index scratch, reused across every routing decision
+    /// so the dispatch hot loop never allocates.
+    live: Vec<usize>,
 }
 
 impl Balancer {
@@ -162,17 +188,20 @@ impl Balancer {
             policy,
             cursor: 0,
             rng: SimRng::new(seed).substream("cluster-p2c", 0),
+            live: Vec::new(),
         }
     }
 
     /// Picks a shard for a session demanding `bits` per slot arriving
     /// at `slot`. Callers must have called
-    /// [`ShardState::release_until`] on every shard first.
-    pub(crate) fn route(&mut self, shards: &[ShardState], slot: u64, bits: u64) -> Route {
-        let live: Vec<usize> = (0..shards.len())
-            .filter(|&i| shards[i].alive(slot))
-            .collect();
-        if live.is_empty() {
+    /// [`ShardState::release_until`] on every shard first. Takes the
+    /// shards mutably so the per-shard memos can fill lazily; the
+    /// decisions are pure functions of the same state as before.
+    pub(crate) fn route(&mut self, shards: &mut [ShardState], slot: u64, bits: u64) -> Route {
+        self.live.clear();
+        self.live
+            .extend((0..shards.len()).filter(|&i| shards[i].alive(slot)));
+        if self.live.is_empty() {
             return Route::Refused;
         }
         match self.policy {
@@ -180,12 +209,13 @@ impl Balancer {
                 // Oblivious: no mirror consultation, no refusal. The
                 // cursor indexes the *live* list so a dead shard drops
                 // out of rotation without stalling it.
-                let pick = live[self.cursor % live.len()];
+                let pick = self.live[self.cursor % self.live.len()];
                 self.cursor = self.cursor.wrapping_add(1);
                 Route::To(pick)
             }
             BalancerPolicy::JoinShortestQueue => {
-                let pick = live
+                let pick = self
+                    .live
                     .iter()
                     .copied()
                     .min_by(|&a, &b| {
@@ -206,13 +236,15 @@ impl Balancer {
                 // live set is a singleton, so the stream position (and
                 // with it every later decision) does not depend on
                 // when shards die.
-                let a = live[self.rng.below(live.len())];
-                let b = live[self.rng.below(live.len())];
-                let pick = if shards[b].occupancy_with(bits) < shards[a].occupancy_with(bits) {
-                    b
-                } else {
-                    a
-                };
+                let ia = self.rng.below(self.live.len());
+                let a = self.live[ia];
+                let ib = self.rng.below(self.live.len());
+                let b = self.live[ib];
+                // Same comparison (and evaluation order) as the seed:
+                // `b` strictly better wins, ties keep `a`.
+                let occ_b = shards[b].occupancy_with(bits);
+                let occ_a = shards[a].occupancy_with(bits);
+                let pick = if occ_b < occ_a { b } else { a };
                 if shards[pick].would_admit(bits) {
                     Route::To(pick)
                 } else {
@@ -237,15 +269,15 @@ mod tests {
 
     fn states(caps: &[u64]) -> Vec<ShardState> {
         caps.iter()
-            .map(|&c| ShardState::new(model(c), 1_000, None).expect("valid"))
+            .map(|&c| ShardState::new(model(c), 1_000, None, 0).expect("valid"))
             .collect()
     }
 
     #[test]
     fn round_robin_cycles_live_shards() {
-        let shards = states(&[100, 100, 100]);
+        let mut shards = states(&[100, 100, 100]);
         let mut b = Balancer::new(BalancerPolicy::RoundRobin, 7);
-        let picks: Vec<Route> = (0..6).map(|_| b.route(&shards, 0, 1_000)).collect();
+        let picks: Vec<Route> = (0..6).map(|_| b.route(&mut shards, 0, 1_000)).collect();
         assert_eq!(
             picks,
             vec![
@@ -264,11 +296,11 @@ mod tests {
         let mut shards = states(&[100, 100]);
         shards[0].reserve(50, 40_000);
         let mut b = Balancer::new(BalancerPolicy::JoinShortestQueue, 7);
-        assert_eq!(b.route(&shards, 0, 1_000), Route::To(1));
+        assert_eq!(b.route(&mut shards, 0, 1_000), Route::To(1));
         // Saturate both far past the occupancy bound: refused.
         shards[0].reserve(50, 90_000);
         shards[1].reserve(50, 130_000);
-        assert_eq!(b.route(&shards, 0, 1_000), Route::Refused);
+        assert_eq!(b.route(&mut shards, 0, 1_000), Route::Refused);
     }
 
     #[test]
@@ -282,7 +314,7 @@ mod tests {
         ] {
             let mut b = Balancer::new(policy, 7);
             for _ in 0..8 {
-                assert_eq!(b.route(&shards, 10, 1_000), Route::To(1), "{policy:?}");
+                assert_eq!(b.route(&mut shards, 10, 1_000), Route::To(1), "{policy:?}");
             }
         }
     }

@@ -23,14 +23,11 @@
 //! [`ServerSim::run`] bit for bit (property-tested in
 //! `tests/differential_cluster.rs`).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use dms_serve::{
     FaultReport, RecoveryConfig, ServeError, ServeMetricsSink, ServerConfig, ServerSim,
     SessionRequest, Workload,
 };
-use dms_sim::{FaultPlan, MetricsRegistry, ParRunner};
+use dms_sim::{EventQueue, FaultPlan, MetricsRegistry, ParRunner, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::balancer::{Balancer, BalancerPolicy, Route, ShardState};
@@ -224,10 +221,11 @@ pub fn aggregate_utility(sinks: &[ServeMetricsSink]) -> Vec<f64> {
     total
 }
 
-/// One offer in the dispatch stream. The derived lexicographic `Ord`
-/// over `(slot, seq)` is the processing order; `seq` is unique, so the
-/// remaining fields never decide a comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// One offer in the dispatch stream, processed in `(slot, seq)` order.
+/// `seq` is unique; initial offers take the workload indices and
+/// dynamic offers (retries, re-offers) count on from there, so every
+/// dynamic seq is greater than every initial seq.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Offer {
     slot: u64,
     seq: u64,
@@ -351,6 +349,11 @@ impl ClusterSim {
         let full_bits = workload.template.full_bits();
         let recovery = &self.config.recovery;
 
+        // Pre-size the per-shard ledgers from the workload: a balanced
+        // fleet sees roughly `offered / shards` sessions per shard.
+        let shard_count = self.config.shards.len();
+        let per_shard_hint = workload.sessions.len() / shard_count + 1;
+
         let mut states: Vec<ShardState> = self
             .config
             .shards
@@ -361,6 +364,7 @@ impl ClusterSim {
                     cfg.capacity,
                     full_bits,
                     faults.get(i).and_then(|f| f.down_from),
+                    per_shard_hint,
                 )
             })
             .collect::<Result<_, _>>()?;
@@ -376,27 +380,38 @@ impl ClusterSim {
         deaths.sort_unstable();
         let mut next_death = 0usize;
 
-        let mut heap: BinaryHeap<Reverse<Offer>> = workload
+        // The offer stream, split by origin. Initial offers are a
+        // sorted vector walked by cursor — `Workload::generate` emits
+        // arrivals in slot order, and the stable sort (seq = workload
+        // index) covers hand-built workloads. Dynamic offers (retries,
+        // crash re-offers) go through a timing wheel whose FIFO-within-
+        // slot order is exactly ascending-seq order, because seqs are
+        // assigned in push order. Ties between the streams go to the
+        // initial offer: every initial seq precedes every dynamic seq.
+        let mut initial: Vec<Offer> = workload
             .sessions
             .iter()
             .enumerate()
-            .map(|(i, s)| {
-                Reverse(Offer {
-                    slot: s.arrival_slot,
-                    seq: i as u64,
-                    id: s.id,
-                    duration_slots: s.duration_slots,
-                    attempt: 0,
-                })
+            .map(|(i, s)| Offer {
+                slot: s.arrival_slot,
+                seq: i as u64,
+                id: s.id,
+                duration_slots: s.duration_slots,
+                attempt: 0,
             })
             .collect();
+        initial.sort_by_key(|o| o.slot);
+        let mut cursor = 0usize;
+        let mut dynamic: EventQueue<Offer> = EventQueue::with_capacity(64);
         let mut next_seq = workload.sessions.len() as u64;
 
         // Per-shard dispatched sessions, and (arrival, depart, id) of
         // everything routed to shards that will die — the re-offer
         // candidates.
-        let mut sessions: Vec<Vec<SessionRequest>> = vec![Vec::new(); self.config.shards.len()];
-        let mut in_flight: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); self.config.shards.len()];
+        let mut sessions: Vec<Vec<SessionRequest>> = (0..shard_count)
+            .map(|_| Vec::with_capacity(per_shard_hint))
+            .collect();
+        let mut in_flight: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); shard_count];
 
         let mut report = DispatchReport {
             offered: workload.sessions.len() as u64,
@@ -405,15 +420,19 @@ impl ClusterSim {
         };
 
         loop {
+            // Earliest slot still pending in either stream.
+            let next_slot = match (initial.get(cursor), dynamic.peek_time()) {
+                (Some(o), Some(t)) => Some(o.slot.min(t.ticks())),
+                (Some(o), None) => Some(o.slot),
+                (None, Some(t)) => Some(t.ticks()),
+                (None, None) => None,
+            };
             // Harvest a shard death once every offer before it has
             // been routed: the sessions then in flight on the dead
             // shard are re-offered to the survivors after the first
             // backoff delay — the cross-shard leg of the retry path.
             if let Some(&(death_slot, shard)) = deaths.get(next_death) {
-                let stream_passed = heap
-                    .peek()
-                    .is_none_or(|&Reverse(offer)| offer.slot >= death_slot);
-                if stream_passed {
+                if next_slot.is_none_or(|s| s >= death_slot) {
                     next_death += 1;
                     for &(arrival, depart, id) in &in_flight[shard] {
                         // Active at the crash edge, like the in-shard
@@ -421,13 +440,17 @@ impl ClusterSim {
                         // departing at or after it, with playout left.
                         if arrival < death_slot && depart > death_slot {
                             report.rerouted += 1;
-                            heap.push(Reverse(Offer {
-                                slot: death_slot + recovery.backoff_slots(0),
-                                seq: next_seq,
-                                id,
-                                duration_slots: depart - death_slot,
-                                attempt: 1,
-                            }));
+                            let slot = death_slot + recovery.backoff_slots(0);
+                            dynamic.schedule(
+                                SimTime::from_ticks(slot),
+                                Offer {
+                                    slot,
+                                    seq: next_seq,
+                                    id,
+                                    duration_slots: depart - death_slot,
+                                    attempt: 1,
+                                },
+                            );
                             next_seq += 1;
                         }
                     }
@@ -435,8 +458,19 @@ impl ClusterSim {
                     continue;
                 }
             }
-            let Some(Reverse(offer)) = heap.pop() else {
-                break;
+            // Merge the streams in (slot, seq) order: a strictly
+            // earlier dynamic offer wins, otherwise the initial offer
+            // (whose seq is smaller) goes first.
+            let offer = match (initial.get(cursor), dynamic.peek_time()) {
+                (Some(o), Some(t)) if t.ticks() < o.slot => {
+                    dynamic.pop().expect("peeked non-empty").payload
+                }
+                (Some(&o), _) => {
+                    cursor += 1;
+                    o
+                }
+                (None, Some(_)) => dynamic.pop().expect("peeked non-empty").payload,
+                (None, None) => break,
             };
             if offer.slot >= workload.slots || offer.duration_slots == 0 {
                 // Backed off past the end of the run (or nothing left
@@ -449,7 +483,7 @@ impl ClusterSim {
             for state in &mut states {
                 state.release_until(offer.slot);
             }
-            match balancer.route(&states, offer.slot, full_bits) {
+            match balancer.route(&mut states, offer.slot, full_bits) {
                 Route::To(shard) => {
                     let depart = offer.slot + offer.duration_slots;
                     states[shard].reserve(depart, full_bits);
@@ -467,12 +501,16 @@ impl ClusterSim {
                 Route::Refused => {
                     if offer.attempt < recovery.max_retries {
                         report.retries += 1;
-                        heap.push(Reverse(Offer {
-                            slot: offer.slot + recovery.backoff_slots(offer.attempt),
-                            seq: next_seq,
-                            attempt: offer.attempt + 1,
-                            ..offer
-                        }));
+                        let slot = offer.slot + recovery.backoff_slots(offer.attempt);
+                        dynamic.schedule(
+                            SimTime::from_ticks(slot),
+                            Offer {
+                                slot,
+                                seq: next_seq,
+                                attempt: offer.attempt + 1,
+                                ..offer
+                            },
+                        );
                         next_seq += 1;
                     } else {
                         report.balancer_rejected += 1;

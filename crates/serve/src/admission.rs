@@ -186,6 +186,112 @@ impl AdmissionController {
     pub fn rejected(&self) -> u64 {
         self.rejected
     }
+
+    /// The reference frame size decisions are denominated in, bits.
+    #[must_use]
+    pub fn frame_bits(&self) -> u64 {
+        self.frame_bits
+    }
+}
+
+/// Memo entries beyond this session count fall through to the direct
+/// computation — a backstop against unbounded growth, far above any
+/// admissible set the predictor lets through.
+const MEMO_MAX_SESSIONS: u64 = 1 << 21;
+
+/// Count-keyed memo over an [`AdmissionController`]'s M/M/1/K
+/// evaluations, for hot loops where every candidate demands the same
+/// `frame_bits`: the predicate and the occupancy prediction then
+/// depend only on the resulting *session count*, so each count is
+/// evaluated once per effective capacity instead of once per offer.
+///
+/// Entries are cached results of the exact controller calls, so a
+/// memoised loop is bit-identical to a per-offer one (the differential
+/// proptests against the reference server pin this). The memo empties
+/// itself whenever the controller's effective capacity moved since the
+/// last call — re-estimation under faults just costs a refill.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionMemo {
+    /// Effective capacity the cached entries were computed against.
+    effective_bits: u64,
+    /// Admission predicate by resulting session count:
+    /// 0 = unknown, 1 = admit, 2 = reject.
+    admit: Vec<u8>,
+    /// Predicted occupancy by active session count; NaN = unknown.
+    occupancy: Vec<f64>,
+}
+
+impl AdmissionMemo {
+    /// Creates an empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sync(&mut self, ctrl: &AdmissionController) {
+        if self.effective_bits != ctrl.effective_bits {
+            self.admit.clear();
+            self.occupancy.clear();
+            self.effective_bits = ctrl.effective_bits;
+        }
+    }
+
+    /// Memoised [`AdmissionController::would_admit`] for one candidate
+    /// of `frame_bits` demand joining `active_sessions` sessions of the
+    /// same demand.
+    pub fn would_admit(&mut self, ctrl: &AdmissionController, active_sessions: u64) -> bool {
+        if ctrl.policy == AdmissionPolicy::AdmitAll {
+            return true;
+        }
+        let direct =
+            |c: &AdmissionController| c.would_admit(active_sessions * c.frame_bits, c.frame_bits);
+        if active_sessions >= MEMO_MAX_SESSIONS {
+            return direct(ctrl);
+        }
+        self.sync(ctrl);
+        let idx = active_sessions as usize;
+        if self.admit.len() <= idx {
+            self.admit.resize(idx + 1, 0);
+        }
+        match self.admit[idx] {
+            1 => true,
+            2 => false,
+            _ => {
+                let admit = direct(ctrl);
+                self.admit[idx] = if admit { 1 } else { 2 };
+                admit
+            }
+        }
+    }
+
+    /// Memoised [`AdmissionController::decide`]: same predicate as
+    /// [`AdmissionMemo::would_admit`], plus the accept/reject ledger.
+    pub fn decide(&mut self, ctrl: &mut AdmissionController, active_sessions: u64) -> bool {
+        let admit = self.would_admit(ctrl, active_sessions);
+        if admit {
+            ctrl.admitted += 1;
+        } else {
+            ctrl.rejected += 1;
+        }
+        admit
+    }
+
+    /// Memoised [`AdmissionController::predicted_occupancy`] for an
+    /// admitted set of `sessions` full-quality sessions.
+    pub fn predicted_occupancy(&mut self, ctrl: &AdmissionController, sessions: u64) -> f64 {
+        if sessions >= MEMO_MAX_SESSIONS {
+            return ctrl.predicted_occupancy(sessions * ctrl.frame_bits);
+        }
+        self.sync(ctrl);
+        let idx = sessions as usize;
+        if self.occupancy.len() <= idx {
+            self.occupancy.resize(idx + 1, f64::NAN);
+        }
+        if self.occupancy[idx].is_nan() {
+            self.occupancy[idx] = ctrl.predicted_occupancy(sessions * ctrl.frame_bits);
+        }
+        self.occupancy[idx]
+    }
 }
 
 #[cfg(test)]
@@ -287,5 +393,72 @@ mod tests {
         let c = AdmissionController::new(model(), AdmissionPolicy::QueuePredictor, 1_000)
             .expect("valid");
         assert_eq!(c.predicted_occupancy(0), 0.0);
+    }
+
+    #[test]
+    fn memo_matches_direct_calls_bit_for_bit() {
+        let mut c = AdmissionController::new(model(), AdmissionPolicy::QueuePredictor, 1_000)
+            .expect("valid");
+        let mut memo = AdmissionMemo::new();
+        // Two passes over the same counts: the first fills the memo,
+        // the second must serve every answer from cache — and both must
+        // equal the direct controller calls exactly.
+        for _ in 0..2 {
+            for count in 0..200u64 {
+                assert_eq!(
+                    memo.would_admit(&c, count),
+                    c.would_admit(count * 1_000, 1_000),
+                    "predicate diverged at count {count}"
+                );
+                let direct = c.predicted_occupancy(count * 1_000);
+                let memoised = memo.predicted_occupancy(&c, count);
+                assert_eq!(
+                    memoised.to_bits(),
+                    direct.to_bits(),
+                    "occupancy diverged at count {count}"
+                );
+            }
+        }
+        // decide() keeps the same ledger as the controller's own.
+        let before = (c.admitted(), c.rejected());
+        let admit = memo.decide(&mut c, 10);
+        assert!(admit);
+        assert_eq!(c.admitted(), before.0 + 1);
+        assert_eq!(c.rejected(), before.1);
+        assert!(!memo.decide(&mut c, 2_000));
+        assert_eq!(c.rejected(), before.1 + 1);
+    }
+
+    #[test]
+    fn memo_invalidates_on_capacity_reestimate() {
+        let mut c = AdmissionController::new(model(), AdmissionPolicy::QueuePredictor, 1_000)
+            .expect("valid");
+        let mut memo = AdmissionMemo::new();
+        assert!(memo.would_admit(&c, 49));
+        let occ_full = memo.predicted_occupancy(&c, 49);
+        // Halving the believed capacity must flush the cached entries:
+        // the same count now predicts a saturated queue.
+        c.set_effective_capacity(50_000);
+        assert!(!memo.would_admit(&c, 49));
+        let occ_half = memo.predicted_occupancy(&c, 49);
+        assert!(occ_half > occ_full);
+        assert_eq!(occ_half.to_bits(), c.predicted_occupancy(49_000).to_bits());
+        // And restoring it flushes again, back to the original values.
+        c.set_effective_capacity(c.model().link_bits_per_slot);
+        assert!(memo.would_admit(&c, 49));
+        assert_eq!(
+            memo.predicted_occupancy(&c, 49).to_bits(),
+            occ_full.to_bits()
+        );
+    }
+
+    #[test]
+    fn memo_admit_all_short_circuits() {
+        let mut c =
+            AdmissionController::new(model(), AdmissionPolicy::AdmitAll, 1_000).expect("valid");
+        let mut memo = AdmissionMemo::new();
+        assert!(memo.would_admit(&c, u64::MAX));
+        assert!(memo.decide(&mut c, MEMO_MAX_SESSIONS + 1));
+        assert_eq!(c.admitted(), 1);
     }
 }

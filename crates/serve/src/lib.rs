@@ -63,17 +63,20 @@
 //! ```
 
 pub mod admission;
+pub(crate) mod arena;
 pub mod degrade;
 pub mod error;
 pub mod faults;
 pub mod metrics;
+pub mod reference;
 pub mod session;
 pub mod workload;
 
-pub use admission::{AdmissionController, AdmissionPolicy, CapacityModel};
+pub use admission::{AdmissionController, AdmissionMemo, AdmissionPolicy, CapacityModel};
 pub use degrade::{DegradeConfig, LayerController};
 pub use error::ServeError;
 pub use faults::{corruption_burst, FaultReport, RecoveryConfig};
 pub use metrics::ServeMetricsSink;
+pub use reference::ReferenceServerSim;
 pub use session::{ServerConfig, ServerReport, ServerSim};
 pub use workload::{rate_for_load, ArrivalProcess, SessionRequest, SessionTemplate, Workload};

@@ -21,7 +21,8 @@
 use dms_sim::{EventQueue, FaultEvent, FaultPlan, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::admission::{AdmissionController, AdmissionPolicy, CapacityModel};
+use crate::admission::{AdmissionController, AdmissionMemo, AdmissionPolicy, CapacityModel};
+use crate::arena::SessionArena;
 use crate::degrade::{DegradeConfig, LayerController};
 use crate::error::ServeError;
 use crate::faults::{FaultReport, RecoveryConfig};
@@ -159,8 +160,12 @@ impl ServerReport {
 enum ServerEvent {
     /// Index into `workload.sessions`.
     Arrive(usize),
-    /// Activation to deactivate (see [`ActiveSession::act`]).
-    Depart(u64),
+    /// Activation to deactivate, addressed by arena handle. The `act`
+    /// generation tag makes the departure O(1) *and* safe: a `Depart`
+    /// scheduled for a crashed activation must not kill whatever later
+    /// activation recycled the slot, so [`SessionArena::depart`]
+    /// matches on `act` before freeing.
+    Depart { handle: u32, act: u64 },
     /// A crashed or timed-out session re-offering itself after backoff.
     Retry {
         /// Index into `workload.sessions`.
@@ -170,24 +175,6 @@ enum ServerEvent {
         /// Service slots the session still wants.
         remaining: u64,
     },
-}
-
-#[derive(Debug)]
-struct ActiveSession {
-    id: u64,
-    /// Activation id, unique per (re)admission: a `Depart` scheduled
-    /// for a crashed activation must not kill the session's retried
-    /// successor, so departures match on `act`, not `id`.
-    act: u64,
-    /// Index into `workload.sessions`, for scheduling retries.
-    idx: usize,
-    /// Slot this activation departs at.
-    depart_slot: u64,
-    /// Consecutive deadline-missed slots (playout-timeout trigger).
-    consecutive_misses: u64,
-    /// Retry attempts consumed to reach this activation.
-    attempt: u32,
-    backlog_bits: u64,
 }
 
 /// The slotted multi-session server simulation.
@@ -292,6 +279,16 @@ impl ServerSim {
     /// implementation. The loop itself draws no randomness — all of it
     /// lives pre-compiled inside the [`FaultPlan`] — which is what
     /// keeps faulted runs deterministic at any `DMS_THREADS`.
+    ///
+    /// The active set lives in a [`SessionArena`] (struct-of-arrays,
+    /// generational handles): departures are O(1) frees, the per-slot
+    /// multiplexer pass streams dense arrays, and admission decisions
+    /// are memoised per session count ([`AdmissionMemo`]). Every
+    /// iteration walks the arena's insertion-ordered handle list, so
+    /// the float accumulation order — and therefore every report byte —
+    /// matches the seed implementation retained as
+    /// [`crate::ReferenceServerSim`] (pinned by differential
+    /// proptests).
     #[allow(clippy::too_many_lines)] // one slot loop, kept linear for auditability
     fn run_core(
         &self,
@@ -318,10 +315,14 @@ impl ServerSim {
             );
         }
 
-        let mut active: Vec<ActiveSession> = Vec::new();
+        // All per-slot scratch hoisted out of the loop: the arena plus
+        // handle-indexed buffers reused across every slot.
+        let mut arena = SessionArena::with_capacity(workload.sessions.len().min(4096));
+        let mut memo = AdmissionMemo::new();
         let mut due: Vec<ServerEvent> = Vec::new();
         let mut grants: Vec<u64> = Vec::new();
-        let mut order: Vec<usize> = Vec::new();
+        let mut sorted: Vec<u32> = Vec::new();
+        let mut crash_buf: Vec<u32> = Vec::new();
         let mut report = FaultReport {
             base: ServerReport {
                 offered: workload.sessions.len() as u64,
@@ -359,21 +360,25 @@ impl ServerSim {
                     FaultEvent::Corrupt { loss } => corrupt_loss = loss,
                     FaultEvent::SessionCrash { fraction } => {
                         let victims =
-                            ((active.len() as f64 * fraction).ceil() as usize).min(active.len());
-                        for victim in active.drain(active.len() - victims..) {
+                            ((arena.live() as f64 * fraction).ceil() as usize).min(arena.live());
+                        arena.take_newest(victims, &mut crash_buf);
+                        for &h in &crash_buf {
+                            let hi = h as usize;
                             report.crashed += 1;
-                            report.lost_to_fault_bits += victim.backlog_bits;
+                            report.lost_to_fault_bits += arena.backlogs[hi];
                             if let Some(rec) = recovery {
-                                let remaining = victim.depart_slot.saturating_sub(slot);
-                                if victim.attempt < rec.max_retries && remaining > 0 {
+                                let remaining = arena.depart_slots[hi].saturating_sub(slot);
+                                if arena.attempts[hi] < rec.max_retries && remaining > 0 {
                                     report.retries += 1;
                                     queue.schedule(
                                         SimTime::from_ticks(
-                                            slot.saturating_add(rec.backoff_slots(victim.attempt)),
+                                            slot.saturating_add(
+                                                rec.backoff_slots(arena.attempts[hi]),
+                                            ),
                                         ),
                                         ServerEvent::Retry {
-                                            idx: victim.idx,
-                                            attempt: victim.attempt,
+                                            idx: arena.idxs[hi],
+                                            attempt: arena.attempts[hi],
                                             remaining,
                                         },
                                     );
@@ -397,27 +402,20 @@ impl ServerSim {
                 match ev {
                     ServerEvent::Arrive(idx) => {
                         let req = workload.sessions[idx];
-                        let active_bits = active.len() as u64 * full_bits;
-                        if admission.decide(active_bits, full_bits) {
+                        if memo.decide(&mut admission, arena.live() as u64) {
                             let act = next_act;
                             next_act += 1;
                             let depart_slot = slot + req.duration_slots;
-                            active.push(ActiveSession {
-                                id: req.id,
-                                act,
-                                idx,
-                                depart_slot,
-                                consecutive_misses: 0,
-                                attempt: 0,
-                                backlog_bits: 0,
-                            });
+                            let handle = arena.insert(req.id, act, idx, depart_slot, 0);
                             queue.schedule(
                                 SimTime::from_ticks(depart_slot),
-                                ServerEvent::Depart(act),
+                                ServerEvent::Depart { handle, act },
                             );
                         }
                     }
-                    ServerEvent::Depart(act) => active.retain(|s| s.act != act),
+                    ServerEvent::Depart { handle, act } => {
+                        arena.depart(handle, act);
+                    }
                     ServerEvent::Retry {
                         idx,
                         attempt,
@@ -426,24 +424,21 @@ impl ServerSim {
                         // Re-admissions preview the predicate without
                         // recording: the `admitted + rejected == offered`
                         // ledger counts each session's first offer once.
-                        let active_bits = active.len() as u64 * full_bits;
-                        if admission.would_admit(active_bits, full_bits) {
+                        if memo.would_admit(&admission, arena.live() as u64) {
                             report.readmitted += 1;
                             let act = next_act;
                             next_act += 1;
                             let depart_slot = slot.saturating_add(remaining);
-                            active.push(ActiveSession {
-                                id: workload.sessions[idx].id,
+                            let handle = arena.insert(
+                                workload.sessions[idx].id,
                                 act,
                                 idx,
                                 depart_slot,
-                                consecutive_misses: 0,
-                                attempt: attempt + 1,
-                                backlog_bits: 0,
-                            });
+                                attempt + 1,
+                            );
                             queue.schedule(
                                 SimTime::from_ticks(depart_slot),
-                                ServerEvent::Depart(act),
+                                ServerEvent::Depart { handle, act },
                             );
                         } else {
                             report.retry_rejected += 1;
@@ -467,8 +462,9 @@ impl ServerSim {
                 }
             }
 
-            let full_demand = active.len() as u64 * full_bits;
-            report.base.predicted_occupancy += admission.predicted_occupancy(full_demand);
+            let full_demand = arena.live() as u64 * full_bits;
+            report.base.predicted_occupancy +=
+                memo.predicted_occupancy(&admission, arena.live() as u64);
 
             // 3. This slot's effective capacity under the fault state.
             let capacity_now = if stalled {
@@ -481,7 +477,11 @@ impl ServerSim {
                 (nominal_bits as f64 * link_factor).round() as u64
             };
 
-            let carried: u64 = active.iter().map(|s| s.backlog_bits).sum();
+            // One sweep pass: drop entries killed by this slot's
+            // departures from the order walk (returning their slots to
+            // the free list) and sum the carried backlog. After this,
+            // `arena.order` is exactly the live set in admission order.
+            let carried = arena.compact();
             let layers = match degrade.as_mut() {
                 Some(ctl) => ctl.observe(full_demand, capacity_now, carried),
                 None => template.max_layers,
@@ -489,40 +489,70 @@ impl ServerSim {
             report.base.mean_layers += layers.min(template.max_layers) as f64;
 
             let demand = template.demand_bits(layers);
-            let enqueued = demand * active.len() as u64;
+            let enqueued = demand * arena.live() as u64;
             let mut backlog_after = 0u64;
             let mut served = 0u64;
-            if !active.is_empty() {
-                // Enqueue this slot's demand into each playout buffer.
-                for s in &mut active {
-                    let want = s.backlog_bits + demand;
+            if arena.live() > 0 {
+                // Enqueue this slot's demand into each playout buffer,
+                // tracking the total so the uncontended shortcut below
+                // can skip the sort.
+                let mut total_backlog = 0u64;
+                for &h in &arena.order {
+                    let b = &mut arena.backlogs[h as usize];
+                    let want = *b + demand;
                     let capped = want.min(buffer_bits);
                     report.base.buffer_dropped_bits += want - capped;
-                    s.backlog_bits = capped;
+                    *b = capped;
+                    // Saturating: a saturated total can only exceed any
+                    // real link capacity, which routes to the sorted
+                    // (contended) path below.
+                    total_backlog = total_backlog.saturating_add(capped);
                 }
 
-                // Max-min fair water-filling: ascending backlog, ties by
-                // id, so small sessions are satisfied first and the slack
-                // flows to the backlogged ones. Integer division
-                // truncation leaves at most `n` bits per slot unallocated.
-                order.clear();
-                order.extend(0..active.len());
-                order.sort_by_key(|&i| (active[i].backlog_bits, active[i].id));
-                grants.clear();
-                grants.resize(active.len(), 0);
-                let mut remaining = capacity_now;
-                let mut left = order.len() as u64;
-                for &i in &order {
-                    let share = remaining / left;
-                    let grant = active[i].backlog_bits.min(share);
-                    grants[i] = grant;
-                    remaining -= grant;
-                    left -= 1;
+                grants.resize(arena.capacity(), 0);
+                if total_backlog <= capacity_now {
+                    // Uncontended slot: max-min fair trivially grants
+                    // every session its whole backlog, so the ascending
+                    // sort below would change nothing. At the admission
+                    // knee most slots land here, and skipping the
+                    // O(n log n) sort is the arena engine's biggest
+                    // per-slot win (bit-identical by construction — the
+                    // water-fill loop yields grant = backlog whenever
+                    // the link covers the total).
+                    for &h in &arena.order {
+                        grants[h as usize] = arena.backlogs[h as usize];
+                    }
+                } else {
+                    // Max-min fair water-filling: ascending backlog,
+                    // ties by id, so small sessions are satisfied first
+                    // and the slack flows to the backlogged ones.
+                    // Integer division truncation leaves at most `n`
+                    // bits per slot unallocated. `(backlog, id)` is a
+                    // total order (ids are unique among live sessions),
+                    // so the unstable sort is deterministic.
+                    sorted.clear();
+                    sorted.extend_from_slice(&arena.order);
+                    sorted.sort_unstable_by_key(|&h| {
+                        (arena.backlogs[h as usize], arena.ids[h as usize])
+                    });
+                    let mut remaining = capacity_now;
+                    let mut left = sorted.len() as u64;
+                    for &h in &sorted {
+                        let share = remaining / left;
+                        let grant = arena.backlogs[h as usize].min(share);
+                        grants[h as usize] = grant;
+                        remaining -= grant;
+                        left -= 1;
+                    }
                 }
 
-                report.base.session_slots += active.len() as u64;
-                for (s, &grant) in active.iter_mut().zip(&grants) {
-                    s.backlog_bits -= grant;
+                report.base.session_slots += arena.live() as u64;
+                // Grants apply in admission order — the float
+                // accumulation order the reference implementation pins.
+                for &h in &arena.order {
+                    let hi = h as usize;
+                    let grant = grants[hi];
+                    arena.backlogs[hi] -= grant;
                     served += grant;
                     // In a corruption-burst slot, a fraction of the
                     // transmitted bits is lost in flight: they leave the
@@ -534,50 +564,56 @@ impl ServerSim {
                     };
                     report.base.delivered_bits += grant - corrupted;
                     report.lost_to_fault_bits += corrupted;
-                    if s.backlog_bits > miss_bits {
+                    if arena.backlogs[hi] > miss_bits {
                         // Too far behind the deadline: the client skips
                         // ahead, stale bits are worthless.
                         report.base.deadline_misses += 1;
-                        report.base.purged_bits += s.backlog_bits - miss_bits;
-                        s.backlog_bits = miss_bits;
-                        s.consecutive_misses += 1;
+                        report.base.purged_bits += arena.backlogs[hi] - miss_bits;
+                        arena.backlogs[hi] = miss_bits;
+                        arena.misses[hi] += 1;
                     } else {
-                        s.consecutive_misses = 0;
+                        arena.misses[hi] = 0;
                         report.base.utility_sum +=
                             template.utility((grant - corrupted).min(full_bits));
                     }
-                    backlog_after += s.backlog_bits;
+                    backlog_after += arena.backlogs[hi];
                 }
 
                 // 4. Playout-deadline timeout: a session that missed its
                 //    deadline for a full timeout window aborts (the
-                //    client gave up) and retries after backoff.
+                //    client gave up) and retries after backoff. A single
+                //    in-place sweep in admission order, O(n) for any
+                //    number of victims.
                 if let Some(rec) = recovery {
-                    let mut i = 0;
-                    while i < active.len() {
-                        if active[i].consecutive_misses >= rec.timeout_miss_slots {
-                            let victim = active.remove(i);
+                    let mut w = 0usize;
+                    for r in 0..arena.order.len() {
+                        let h = arena.order[r];
+                        let hi = h as usize;
+                        if arena.misses[hi] >= rec.timeout_miss_slots {
                             report.timed_out += 1;
-                            backlog_after -= victim.backlog_bits;
-                            report.lost_to_fault_bits += victim.backlog_bits;
-                            let remaining = victim.depart_slot.saturating_sub(slot + 1);
-                            if victim.attempt < rec.max_retries && remaining > 0 {
+                            backlog_after -= arena.backlogs[hi];
+                            report.lost_to_fault_bits += arena.backlogs[hi];
+                            let remaining = arena.depart_slots[hi].saturating_sub(slot + 1);
+                            if arena.attempts[hi] < rec.max_retries && remaining > 0 {
                                 report.retries += 1;
                                 queue.schedule(
                                     SimTime::from_ticks(
-                                        slot.saturating_add(rec.backoff_slots(victim.attempt)),
+                                        slot.saturating_add(rec.backoff_slots(arena.attempts[hi])),
                                     ),
                                     ServerEvent::Retry {
-                                        idx: victim.idx,
-                                        attempt: victim.attempt,
+                                        idx: arena.idxs[hi],
+                                        attempt: arena.attempts[hi],
                                         remaining,
                                     },
                                 );
                             }
+                            arena.release(h);
                         } else {
-                            i += 1;
+                            arena.order[w] = h;
+                            w += 1;
                         }
                     }
+                    arena.order.truncate(w);
                 }
 
                 report.base.measured_occupancy += backlog_after as f64 / full_bits as f64;
@@ -610,7 +646,7 @@ impl ServerSim {
             if let Some(s) = sink.as_deref_mut() {
                 s.record_slot(
                     admission.admitted() - admitted_before,
-                    active.len() as u64,
+                    arena.live() as u64,
                     backlog_after,
                     layers.min(template.max_layers) as u64,
                     report.base.deadline_misses - misses_before,

@@ -2,8 +2,8 @@
 
 use dms_serve::{
     rate_for_load, AdmissionController, AdmissionPolicy, ArrivalProcess, CapacityModel,
-    DegradeConfig, RecoveryConfig, ServeMetricsSink, ServerConfig, ServerSim, SessionTemplate,
-    Workload,
+    DegradeConfig, RecoveryConfig, ReferenceServerSim, ServeMetricsSink, ServerConfig, ServerSim,
+    SessionTemplate, Workload,
 };
 use dms_sim::{FaultPlan, FaultSpec};
 use proptest::prelude::*;
@@ -353,5 +353,104 @@ proptest! {
                 nominal_sink.active()[slot]
             );
         }
+    }
+
+    /// Differential oracle for the arena-backed engine: on arbitrary
+    /// loads, policies and arrival processes, the timing-wheel + arena
+    /// `ServerSim` produces a report *byte-identical* (every counter and
+    /// every float, compared exactly) to [`ReferenceServerSim`], the
+    /// retained seed implementation (binary heap + `Vec` active set +
+    /// per-offer predictor calls).
+    #[test]
+    fn arena_engine_matches_reference_nominal(
+        load in 0.2f64..2.0,
+        policy_admit_all in proptest::bool::ANY,
+        degrade_on in proptest::bool::ANY,
+        selfsim in proptest::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let capacity = CapacityModel {
+            link_bits_per_slot: 10 * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        };
+        let rate = rate_for_load(load, &template, capacity.link_bits_per_slot);
+        let process = if selfsim {
+            ArrivalProcess::SelfSimilar { rate, hurst: 0.85, burstiness: 1.0 }
+        } else {
+            ArrivalProcess::Poisson { rate }
+        };
+        let workload = Workload::generate(process, template, 120, seed).expect("valid workload");
+        let config = ServerConfig {
+            capacity,
+            policy: if policy_admit_all {
+                AdmissionPolicy::AdmitAll
+            } else {
+                AdmissionPolicy::QueuePredictor
+            },
+            degrade: degrade_on.then(DegradeConfig::default),
+            buffer_slots: 4,
+            miss_slots: 2,
+        };
+        let fast = ServerSim::new(config).expect("valid config").run(&workload).expect("runs");
+        let oracle = ReferenceServerSim::new(config)
+            .expect("valid config")
+            .run(&workload)
+            .expect("runs");
+        prop_assert_eq!(fast, oracle);
+    }
+
+    /// The same oracle under fault injection and recovery: crash
+    /// victim selection, retry scheduling, timeout sweeps and the
+    /// per-slot metrics series must all match the seed implementation
+    /// exactly, for any compiled fault plan.
+    #[test]
+    fn arena_engine_matches_reference_faulted(
+        load in 0.2f64..1.5,
+        policy_admit_all in proptest::bool::ANY,
+        degrade_on in proptest::bool::ANY,
+        recovery_on in proptest::bool::ANY,
+        specs in proptest::collection::vec(fault_spec(), 0..6),
+        seed in 0u64..500,
+        plan_seed in 0u64..500,
+    ) {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let capacity = CapacityModel {
+            link_bits_per_slot: 10 * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        };
+        let rate = rate_for_load(load, &template, capacity.link_bits_per_slot);
+        let workload = Workload::generate(ArrivalProcess::Poisson { rate }, template, 120, seed)
+            .expect("valid workload");
+        let plan = FaultPlan::compile(&specs, 120, plan_seed).expect("strategy emits valid specs");
+        let config = ServerConfig {
+            capacity,
+            policy: if policy_admit_all {
+                AdmissionPolicy::AdmitAll
+            } else {
+                AdmissionPolicy::QueuePredictor
+            },
+            degrade: degrade_on.then(DegradeConfig::default),
+            buffer_slots: 4,
+            miss_slots: 2,
+        };
+        let recovery = recovery_on.then(RecoveryConfig::default);
+        let mut fast_sink = ServeMetricsSink::with_capacity(120);
+        let fast = ServerSim::new(config)
+            .expect("valid config")
+            .run_faulted(&workload, &plan, recovery.as_ref(), Some(&mut fast_sink))
+            .expect("runs");
+        let mut oracle_sink = ServeMetricsSink::with_capacity(120);
+        let oracle = ReferenceServerSim::new(config)
+            .expect("valid config")
+            .run_faulted(&workload, &plan, recovery.as_ref(), Some(&mut oracle_sink))
+            .expect("runs");
+        prop_assert_eq!(fast, oracle);
+        prop_assert_eq!(fast_sink.admitted(), oracle_sink.admitted());
+        prop_assert_eq!(fast_sink.active(), oracle_sink.active());
+        prop_assert_eq!(fast_sink.deadline_misses(), oracle_sink.deadline_misses());
+        prop_assert_eq!(fast_sink.enqueued_bits(), oracle_sink.enqueued_bits());
     }
 }

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{DrainReady, Engine, EventQueue, Model, ScheduledEvent};
+pub use engine::{DrainReady, Engine, EventQueue, HeapEventQueue, Model, ScheduledEvent};
 pub use faults::{FaultError, FaultEvent, FaultPlan, FaultSpec, ScheduledFault};
 pub use metrics::{JsonValue, Metric, MetricsRegistry, RunLog, RunRecord, ScopedMetrics};
 pub use par::ParRunner;

@@ -1,9 +1,36 @@
 //! Property-based tests for the DES kernel and statistics.
 
 use dms_sim::{
-    Autocorrelation, Engine, EventQueue, Histogram, Model, OnlineStats, ParRunner, SimRng, SimTime,
+    Autocorrelation, Engine, EventQueue, HeapEventQueue, Histogram, Model, OnlineStats, ParRunner,
+    SimRng, SimTime,
 };
 use proptest::prelude::*;
+
+/// One step of an arbitrary schedule driven against both queue
+/// implementations: schedule at a (possibly huge) time, pop the
+/// earliest event, or pop bounded by a horizon.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    Schedule(u64),
+    Pop,
+    PopAtOrBefore(u64),
+}
+
+/// Times mixing dense small values (lots of FIFO ties) with sparse
+/// huge ones (every wheel level and cascade path). Repeated entries
+/// stand in for weights, which the vendored `prop_oneof` lacks.
+fn queue_time() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..64, 0u64..64, 0u64..100_000, 0u64..=u64::MAX]
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        queue_time().prop_map(QueueOp::Schedule),
+        queue_time().prop_map(QueueOp::Schedule),
+        Just(QueueOp::Pop),
+        queue_time().prop_map(QueueOp::PopAtOrBefore),
+    ]
+}
 
 /// A model that records the order in which payloads arrive.
 struct Recorder {
@@ -112,6 +139,81 @@ proptest! {
         let acf = Autocorrelation::of(&data, 8);
         for (lag, &v) in acf.values().iter().enumerate() {
             prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "lag {} = {v}", lag + 1);
+        }
+    }
+
+    /// Differential oracle for the timing-wheel event queue: driven by
+    /// an arbitrary interleaving of schedules and pops (including
+    /// full-range u64 times and pops bounded by horizons), the wheel
+    /// yields bit-identical `(time, seq, payload)` streams to the
+    /// retired binary-heap implementation.
+    #[test]
+    fn wheel_pop_order_matches_heap_oracle(
+        ops in proptest::collection::vec(queue_op(), 1..300),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut payload = 0u32;
+        for op in ops {
+            match op {
+                QueueOp::Schedule(t) => {
+                    wheel.schedule(SimTime::from_ticks(t), payload);
+                    heap.schedule(SimTime::from_ticks(t), payload);
+                    payload += 1;
+                }
+                QueueOp::Pop => {
+                    let w = wheel.pop();
+                    let h = heap.pop();
+                    match (w, h) {
+                        (None, None) => {}
+                        (Some(w), Some(h)) => {
+                            prop_assert_eq!(
+                                (w.time, w.seq, w.payload),
+                                (h.time, h.seq, h.payload)
+                            );
+                        }
+                        (w, h) => {
+                            prop_assert!(false, "pop disagreement: wheel={:?} heap={:?}", w, h);
+                        }
+                    }
+                }
+                QueueOp::PopAtOrBefore(horizon) => {
+                    let horizon = SimTime::from_ticks(horizon);
+                    let w = wheel.pop_at_or_before(horizon);
+                    let h = heap.pop_at_or_before(horizon);
+                    match (w, h) {
+                        (None, None) => {}
+                        (Some(w), Some(h)) => {
+                            prop_assert_eq!(
+                                (w.time, w.seq, w.payload),
+                                (h.time, h.seq, h.payload)
+                            );
+                        }
+                        (w, h) => {
+                            prop_assert!(
+                                false,
+                                "bounded-pop disagreement: wheel={:?} heap={:?}",
+                                w,
+                                h
+                            );
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        // Drain both to the end: the tails must agree too.
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(w), Some(h)) => {
+                    prop_assert_eq!((w.time, w.seq, w.payload), (h.time, h.seq, h.payload));
+                }
+                (w, h) => {
+                    prop_assert!(false, "tail disagreement: wheel={:?} heap={:?}", w, h);
+                }
+            }
         }
     }
 
