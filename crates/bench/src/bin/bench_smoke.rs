@@ -249,6 +249,16 @@ fn main() {
         with_sink
     );
 
+    // Loopback serving frontier: the full 10^4-session soak through
+    // codec + socketpair + lockstep driver, with the socket run-log
+    // asserted byte-identical to direct injection before timing is
+    // reported.
+    let net = dms_bench::net::net_loopback_perf(dms_bench::net::SOAK_SEED);
+    println!(
+        "\nnet_loopback_perf: {} sessions, {} frames in {:.3} s -> {:.0} frames/s",
+        net.sessions, net.frames, net.seconds, net.frames_per_sec
+    );
+
     // Registry snapshot: the same numbers, recorded through the
     // metrics layer the simulators feed their run-logs from.
     let mut registry = MetricsRegistry::new();
@@ -291,6 +301,13 @@ fn main() {
         let mut s = registry.scoped("e12_sink_overhead");
         s.gauge_set("none_seconds", none_sink);
         s.gauge_set("recording_seconds", with_sink);
+    }
+    {
+        let mut s = registry.scoped("net_loopback_perf");
+        s.gauge_set("sessions", net.sessions as f64);
+        s.gauge_set("frames", net.frames as f64);
+        s.gauge_set("seconds", net.seconds);
+        s.gauge_set("frames_per_sec", net.frames_per_sec);
     }
 
     // The workspace is offline and vendors no JSON crate; the file is
@@ -410,6 +427,18 @@ fn main() {
             JsonValue::Object(vec![
                 ("none_seconds".to_string(), JsonValue::Float(none_sink)),
                 ("recording_seconds".to_string(), JsonValue::Float(with_sink)),
+            ]),
+        ),
+        (
+            "net_loopback_perf".to_string(),
+            JsonValue::Object(vec![
+                ("sessions".to_string(), JsonValue::from(net.sessions)),
+                ("frames".to_string(), JsonValue::from(net.frames)),
+                ("seconds".to_string(), JsonValue::Float(net.seconds)),
+                (
+                    "frames_per_sec".to_string(),
+                    JsonValue::Float(net.frames_per_sec),
+                ),
             ]),
         ),
         ("metrics".to_string(), registry.to_json()),

@@ -1,0 +1,137 @@
+//! The session load generator: replays the E12-style soak trace
+//! against a `netserve` endpoint over a real socket — or, with
+//! `--direct`, through the same driver with no socket at all, writing
+//! the reference run-log the socket arm is byte-compared against.
+//!
+//! ```text
+//! loadgen --connect unix:/tmp/dms.sock [--seed N] [--slot-us MICROS]
+//! loadgen --direct [--seed N] [--runlog FILE]
+//! ```
+//!
+//! `--slot-us` paces offers in wall-clock time with a
+//! [`dms_sim::TickClock`] (one slot = that many microseconds); by
+//! default the trace replays at full speed. Pacing never changes the
+//! server's run-log — slots travel in the frames, not in the clock.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dms_bench::net::{soak_direct, soak_setup, SOAK_SEED};
+use dms_net::{connect_with_backoff, run_loadgen, EndpointAddr, ReconnectPolicy};
+use dms_sim::TickClock;
+
+struct Args {
+    connect: Option<EndpointAddr>,
+    direct: bool,
+    seed: u64,
+    slot_us: u64,
+    runlog: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut connect = None;
+    let mut direct = false;
+    let mut seed = SOAK_SEED;
+    let mut slot_us = 0;
+    let mut runlog = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => {
+                let v = args.next().ok_or("--connect needs an address")?;
+                connect = Some(EndpointAddr::parse(&v).map_err(|e| e.to_string())?);
+            }
+            "--direct" => direct = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--slot-us" => {
+                let v = args.next().ok_or("--slot-us needs a value")?;
+                slot_us = v.parse().map_err(|_| format!("bad slot-us: {v}"))?;
+            }
+            "--runlog" => runlog = Some(args.next().ok_or("--runlog needs a path")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if direct == connect.is_some() {
+        return Err("pass exactly one of --connect ADDR or --direct".into());
+    }
+    Ok(Args {
+        connect,
+        direct,
+        seed,
+        slot_us,
+        runlog,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.direct {
+        let (log, report) = soak_direct(args.seed);
+        eprintln!(
+            "loadgen (direct): offered {} admitted {} rejected {}",
+            report.offered, report.admitted, report.rejected
+        );
+        match &args.runlog {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &log) {
+                    eprintln!("loadgen: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => print!("{log}"),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let addr = args.connect.expect("checked in parse_args");
+    let (_, workload) = soak_setup(args.seed);
+    eprintln!(
+        "loadgen: replaying {} sessions over {} slots to {:?}",
+        workload.sessions.len(),
+        workload.slots,
+        addr
+    );
+    let mut conn = match connect_with_backoff(&addr, &ReconnectPolicy::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: connect failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let clock;
+    let pace = if args.slot_us > 0 {
+        clock = TickClock::new(Duration::from_micros(args.slot_us));
+        Some(&clock)
+    } else {
+        None
+    };
+    match run_loadgen(
+        &mut conn,
+        args.seed,
+        workload.slots,
+        &workload.sessions,
+        pace,
+    ) {
+        Ok(report) => {
+            eprintln!(
+                "loadgen: offered {} admitted {} rejected {} heartbeats {}",
+                report.offered, report.admitted, report.rejected, report.heartbeats
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loadgen: session failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The socket-facing streaming server: binds a TCP or Unix endpoint,
+//! accepts one `loadgen` session, drives the slotted engine in
+//! lockstep with the offer stream, and writes the byte-deterministic
+//! run-log.
+//!
+//! ```text
+//! netserve --listen unix:/tmp/dms.sock [--seed N] [--runlog FILE]
+//! netserve --listen tcp:127.0.0.1:4070 [--seed N] [--runlog FILE]
+//! ```
+//!
+//! The run-log written here must byte-match `loadgen --direct
+//! --seed N` for the same seed — that comparison is the CI soak.
+
+use std::process::ExitCode;
+
+use dms_bench::net::{soak_driver, soak_setup, SOAK_SEED};
+use dms_net::{serve_connection, EndpointAddr, Listener};
+
+struct Args {
+    listen: EndpointAddr,
+    seed: u64,
+    runlog: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut listen = None;
+    let mut seed = SOAK_SEED;
+    let mut runlog = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                let v = args.next().ok_or("--listen needs an address")?;
+                listen = Some(EndpointAddr::parse(&v).map_err(|e| e.to_string())?);
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--runlog" => runlog = Some(args.next().ok_or("--runlog needs a path")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        listen: listen.ok_or("--listen is required (tcp:HOST:PORT or unix:PATH)")?,
+        seed,
+        runlog,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("netserve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (config, workload) = soak_setup(args.seed);
+    let mut driver = soak_driver(&config, &workload);
+    eprintln!(
+        "netserve: {} sessions over {} slots, listening on {:?}",
+        workload.sessions.len(),
+        workload.slots,
+        args.listen
+    );
+
+    let listener = match Listener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("netserve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut conn = match listener.accept() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("netserve: accept failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = serve_connection(&mut conn, &mut driver) {
+        eprintln!("netserve: session failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let engine = driver.engine();
+    eprintln!(
+        "netserve: done — offered {} admitted {} rejected {} delivered_bits {}",
+        engine.offered(),
+        engine.admitted(),
+        engine.rejected(),
+        engine.delivered_bits()
+    );
+    let log = driver.into_run_log();
+    match &args.runlog {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &log) {
+                eprintln!("netserve: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{log}"),
+    }
+    ExitCode::SUCCESS
+}

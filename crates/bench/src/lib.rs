@@ -9,6 +9,7 @@
 //! Seeds are fixed so every number here is reproducible bit-for-bit.
 
 pub mod micro;
+pub mod net;
 
 use dms_ambient::smartspace::SmartSpace;
 use dms_analysis::{

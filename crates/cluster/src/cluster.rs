@@ -24,13 +24,13 @@
 //! `tests/differential_cluster.rs`).
 
 use dms_serve::{
-    FaultReport, RecoveryConfig, ServeError, ServeMetricsSink, ServerConfig, ServerSim,
-    SessionRequest, Workload,
+    FaultReport, RecoveryConfig, ServeError, ServeMetricsSink, ServerConfig, ServerSim, Workload,
 };
-use dms_sim::{EventQueue, FaultPlan, MetricsRegistry, ParRunner, SimTime};
+use dms_sim::{FaultPlan, MetricsRegistry, ParRunner};
 use serde::{Deserialize, Serialize};
 
-use crate::balancer::{Balancer, BalancerPolicy, Route, ShardState};
+use crate::balancer::BalancerPolicy;
+use crate::endpoint::FleetEndpoint;
 
 /// Cluster-wide configuration: the shard replicas plus the balancer
 /// that fronts them.
@@ -98,6 +98,12 @@ pub struct DispatchReport {
     pub retries: u64,
     /// Sessions re-offered to the survivors after their shard died.
     pub rerouted: u64,
+    /// Offers still in backoff when a graceful endpoint shutdown
+    /// dropped them (always 0 for a batch dispatch, which runs every
+    /// retry to resolution). Closes the shutdown conservation ledger:
+    /// `dispatched + balancer_rejected + drained == offered + rerouted`.
+    #[serde(default)]
+    pub drained: u64,
     /// Sessions routed to each shard.
     pub shard_sessions: Vec<u64>,
 }
@@ -221,19 +227,6 @@ pub fn aggregate_utility(sinks: &[ServeMetricsSink]) -> Vec<f64> {
     total
 }
 
-/// One offer in the dispatch stream, processed in `(slot, seq)` order.
-/// `seq` is unique; initial offers take the workload indices and
-/// dynamic offers (retries, re-offers) count on from there, so every
-/// dynamic seq is greater than every initial seq.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Offer {
-    slot: u64,
-    seq: u64,
-    id: u64,
-    duration_slots: u64,
-    attempt: u32,
-}
-
 /// A sharded streaming cluster over [`ServerSim`] replicas.
 #[derive(Debug, Clone)]
 pub struct ClusterSim {
@@ -285,22 +278,44 @@ impl ClusterSim {
         faults: &[ShardFault],
         sinks: Option<&mut Vec<ServeMetricsSink>>,
     ) -> Result<ClusterReport, ServeError> {
+        let (shard_workloads, dispatch) = self.dispatch(workload, faults)?;
+        self.run_dispatched(shard_workloads, dispatch, faults, sinks)
+    }
+
+    /// The shard-execution phase alone: runs already-dispatched
+    /// per-shard workloads (one per shard, as produced by
+    /// [`ClusterSim::dispatch`] or a
+    /// [`FleetEndpoint`]) on the fleet and
+    /// merges the reports. `dms-net`'s fleet driver calls this at
+    /// shutdown with the endpoint's routed workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] on a workload/fault
+    /// list length mismatch; propagates shard-run validation.
+    pub fn run_dispatched(
+        &self,
+        shard_workloads: Vec<Workload>,
+        dispatch: DispatchReport,
+        faults: &[ShardFault],
+        sinks: Option<&mut Vec<ServeMetricsSink>>,
+    ) -> Result<ClusterReport, ServeError> {
+        if shard_workloads.len() != self.config.shards.len() {
+            return Err(ServeError::InvalidParameter("shard_workloads"));
+        }
         if !faults.is_empty() && faults.len() != self.config.shards.len() {
             return Err(ServeError::InvalidParameter("faults"));
         }
-        let (shard_workloads, dispatch) = self.dispatch(workload, faults)?;
-        let none_plan = FaultPlan::none(workload.slots);
+        let slots = shard_workloads.first().map_or(0, |w| w.slots);
+        let none_plan = FaultPlan::none(slots);
         let want_sinks = sinks.is_some();
         let jobs: Vec<usize> = (0..self.config.shards.len()).collect();
         let results: Vec<Result<(FaultReport, ServeMetricsSink), ServeError>> = ParRunner::new()
             .map(&jobs, |&i| {
                 let server = ServerSim::new(self.config.shards[i])?;
                 let plan = faults.get(i).map_or(&none_plan, |f| &f.plan);
-                let mut sink = ServeMetricsSink::with_capacity(if want_sinks {
-                    workload.slots as usize
-                } else {
-                    0
-                });
+                let mut sink =
+                    ServeMetricsSink::with_capacity(if want_sinks { slots as usize } else { 0 });
                 // Shard-level recovery stays off: crashed sessions are
                 // re-routed *across* shards by the dispatch pass, not
                 // retried into the shard that lost them.
@@ -325,7 +340,7 @@ impl ClusterSim {
         Ok(ClusterReport {
             dispatch,
             shards,
-            slots: workload.slots,
+            slots,
         })
     }
 
@@ -336,7 +351,6 @@ impl ClusterSim {
     /// # Errors
     ///
     /// Same contract as [`ClusterSim::run_faulted`].
-    #[allow(clippy::too_many_lines)] // one offer loop, kept linear for auditability
     pub fn dispatch(
         &self,
         workload: &Workload,
@@ -345,189 +359,26 @@ impl ClusterSim {
         if !faults.is_empty() && faults.len() != self.config.shards.len() {
             return Err(ServeError::InvalidParameter("faults"));
         }
-        workload.template.validate()?;
-        let full_bits = workload.template.full_bits();
-        let recovery = &self.config.recovery;
-
         // Pre-size the per-shard ledgers from the workload: a balanced
         // fleet sees roughly `offered / shards` sessions per shard.
-        let shard_count = self.config.shards.len();
-        let per_shard_hint = workload.sessions.len() / shard_count + 1;
-
-        let mut states: Vec<ShardState> = self
-            .config
-            .shards
-            .iter()
-            .enumerate()
-            .map(|(i, cfg)| {
-                ShardState::new(
-                    cfg.capacity,
-                    full_bits,
-                    faults.get(i).and_then(|f| f.down_from),
-                    per_shard_hint,
-                )
-            })
-            .collect::<Result<_, _>>()?;
-        let mut balancer = Balancer::new(self.config.balancer, self.config.seed);
-
-        // Shard deaths in slot order; each is harvested for re-offers
-        // exactly once, when the offer stream passes its slot.
-        let mut deaths: Vec<(u64, usize)> = faults
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.down_from.map(|d| (d, i)))
-            .collect();
-        deaths.sort_unstable();
-        let mut next_death = 0usize;
-
-        // The offer stream, split by origin. Initial offers are a
-        // sorted vector walked by cursor — `Workload::generate` emits
-        // arrivals in slot order, and the stable sort (seq = workload
-        // index) covers hand-built workloads. Dynamic offers (retries,
-        // crash re-offers) go through a timing wheel whose FIFO-within-
-        // slot order is exactly ascending-seq order, because seqs are
-        // assigned in push order. Ties between the streams go to the
-        // initial offer: every initial seq precedes every dynamic seq.
-        let mut initial: Vec<Offer> = workload
-            .sessions
-            .iter()
-            .enumerate()
-            .map(|(i, s)| Offer {
-                slot: s.arrival_slot,
-                seq: i as u64,
-                id: s.id,
-                duration_slots: s.duration_slots,
-                attempt: 0,
-            })
-            .collect();
-        initial.sort_by_key(|o| o.slot);
-        let mut cursor = 0usize;
-        let mut dynamic: EventQueue<Offer> = EventQueue::with_capacity(64);
-        let mut next_seq = workload.sessions.len() as u64;
-
-        // Per-shard dispatched sessions, and (arrival, depart, id) of
-        // everything routed to shards that will die — the re-offer
-        // candidates.
-        let mut sessions: Vec<Vec<SessionRequest>> = (0..shard_count)
-            .map(|_| Vec::with_capacity(per_shard_hint))
-            .collect();
-        let mut in_flight: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); shard_count];
-
-        let mut report = DispatchReport {
-            offered: workload.sessions.len() as u64,
-            shard_sessions: vec![0; self.config.shards.len()],
-            ..DispatchReport::default()
-        };
-
-        loop {
-            // Earliest slot still pending in either stream.
-            let next_slot = match (initial.get(cursor), dynamic.peek_time()) {
-                (Some(o), Some(t)) => Some(o.slot.min(t.ticks())),
-                (Some(o), None) => Some(o.slot),
-                (None, Some(t)) => Some(t.ticks()),
-                (None, None) => None,
-            };
-            // Harvest a shard death once every offer before it has
-            // been routed: the sessions then in flight on the dead
-            // shard are re-offered to the survivors after the first
-            // backoff delay — the cross-shard leg of the retry path.
-            if let Some(&(death_slot, shard)) = deaths.get(next_death) {
-                if next_slot.is_none_or(|s| s >= death_slot) {
-                    next_death += 1;
-                    for &(arrival, depart, id) in &in_flight[shard] {
-                        // Active at the crash edge, like the in-shard
-                        // crash burst: arrived before the death slot,
-                        // departing at or after it, with playout left.
-                        if arrival < death_slot && depart > death_slot {
-                            report.rerouted += 1;
-                            let slot = death_slot + recovery.backoff_slots(0);
-                            dynamic.schedule(
-                                SimTime::from_ticks(slot),
-                                Offer {
-                                    slot,
-                                    seq: next_seq,
-                                    id,
-                                    duration_slots: depart - death_slot,
-                                    attempt: 1,
-                                },
-                            );
-                            next_seq += 1;
-                        }
-                    }
-                    in_flight[shard].clear();
-                    continue;
-                }
-            }
-            // Merge the streams in (slot, seq) order: a strictly
-            // earlier dynamic offer wins, otherwise the initial offer
-            // (whose seq is smaller) goes first.
-            let offer = match (initial.get(cursor), dynamic.peek_time()) {
-                (Some(o), Some(t)) if t.ticks() < o.slot => {
-                    dynamic.pop().expect("peeked non-empty").payload
-                }
-                (Some(&o), _) => {
-                    cursor += 1;
-                    o
-                }
-                (None, Some(_)) => dynamic.pop().expect("peeked non-empty").payload,
-                (None, None) => break,
-            };
-            if offer.slot >= workload.slots || offer.duration_slots == 0 {
-                // Backed off past the end of the run (or nothing left
-                // to play): an expired offer is a rejection, never a
-                // session the shards saw — keeps `admitted + rejected
-                // == offered` exact at the cluster level.
-                report.balancer_rejected += 1;
-                continue;
-            }
-            for state in &mut states {
-                state.release_until(offer.slot);
-            }
-            match balancer.route(&mut states, offer.slot, full_bits) {
-                Route::To(shard) => {
-                    let depart = offer.slot + offer.duration_slots;
-                    states[shard].reserve(depart, full_bits);
-                    sessions[shard].push(SessionRequest {
-                        id: offer.id,
-                        arrival_slot: offer.slot,
-                        duration_slots: offer.duration_slots,
-                    });
-                    report.shard_sessions[shard] += 1;
-                    report.dispatched += 1;
-                    if states[shard].dies() {
-                        in_flight[shard].push((offer.slot, depart, offer.id));
-                    }
-                }
-                Route::Refused => {
-                    if offer.attempt < recovery.max_retries {
-                        report.retries += 1;
-                        let slot = offer.slot + recovery.backoff_slots(offer.attempt);
-                        dynamic.schedule(
-                            SimTime::from_ticks(slot),
-                            Offer {
-                                slot,
-                                seq: next_seq,
-                                attempt: offer.attempt + 1,
-                                ..offer
-                            },
-                        );
-                        next_seq += 1;
-                    } else {
-                        report.balancer_rejected += 1;
-                    }
-                }
-            }
+        let per_shard_hint = workload.sessions.len() / self.config.shards.len() + 1;
+        let mut endpoint = FleetEndpoint::with_faults(
+            &self.config,
+            workload.template,
+            workload.slots,
+            faults,
+            per_shard_hint,
+        )?;
+        // `Workload::generate` emits arrivals in slot order; the stable
+        // index sort covers hand-built workloads, preserving workload
+        // order among same-slot offers — the endpoint's FIFO contract.
+        let mut order: Vec<usize> = (0..workload.sessions.len()).collect();
+        order.sort_by_key(|&i| workload.sessions[i].arrival_slot);
+        for &i in &order {
+            let s = workload.sessions[i];
+            endpoint.offer(s.id, s.arrival_slot, s.duration_slots)?;
         }
-
-        let workloads = sessions
-            .into_iter()
-            .map(|s| Workload {
-                sessions: s,
-                template: workload.template,
-                slots: workload.slots,
-            })
-            .collect();
-        Ok((workloads, report))
+        Ok(endpoint.finish())
     }
 }
 

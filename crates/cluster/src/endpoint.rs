@@ -1,0 +1,634 @@
+//! The incremental fleet endpoint: the cluster-side offer-source seam.
+//!
+//! [`FleetEndpoint`] is the dispatch pass of
+//! [`ClusterSim`](crate::ClusterSim) turned inside out: instead of
+//! consuming a complete [`Workload`] in one sequential sweep, it
+//! accepts offers one at a time in non-decreasing slot order —
+//! `dms-net`'s socket driver feeds it frames, the batch
+//! [`ClusterSim::dispatch`](crate::ClusterSim::dispatch) feeds it a
+//! sorted workload — and both produce bit-identical routing because
+//! they *are* the same code path. Retries and crash re-offers flow
+//! through the same timing wheel and the same
+//! `(slot, arrival-order)` merge discipline as the original batch
+//! pass: a dynamic offer strictly earlier than the next injected offer
+//! routes first; ties go to the injected offer (its sequence number is
+//! always smaller in spirit — initial offers precede dynamic ones at
+//! equal slots).
+//!
+//! A graceful [`FleetEndpoint::shutdown`] drops the retries still in
+//! backoff (counted as `drained`) and releases every reserved
+//! admission bit exactly like crash harvesting releases a dead shard's
+//! in-flight reservations — nothing leaks, and the conservation ledger
+//! `dispatched + balancer_rejected + drained == offered + rerouted`
+//! stays exact.
+
+use dms_serve::{RecoveryConfig, ServeError, SessionRequest, SessionTemplate, Workload};
+use dms_sim::{EventQueue, SimTime};
+
+use crate::balancer::{Balancer, Route, ShardState};
+use crate::cluster::{ClusterConfig, DispatchReport, ShardFault};
+
+/// One offer in the dispatch stream, processed in `(slot, seq)` order.
+/// `seq` is unique metadata (the wheel's FIFO-within-slot drain already
+/// yields push order); it survives for debuggability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Offer {
+    slot: u64,
+    seq: u64,
+    id: u64,
+    duration_slots: u64,
+    attempt: u32,
+}
+
+/// Routing outcome of one processed offer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetVerdict {
+    /// Routed to this shard index.
+    Dispatched {
+        /// Receiving shard.
+        shard: usize,
+    },
+    /// Refused by every live mirror; backing off to retry.
+    Retrying {
+        /// Slot of the scheduled re-attempt.
+        next_slot: u64,
+    },
+    /// Refused with no retry budget left, expired past the horizon,
+    /// or dropped by a shutdown while still in backoff.
+    Rejected,
+}
+
+/// One entry of the endpoint's outcome stream (only recorded while
+/// [`FleetEndpoint::record_outcomes`] is on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OfferOutcome {
+    /// Session id of the offer.
+    pub id: u64,
+    /// Slot the offer was processed at.
+    pub slot: u64,
+    /// What routing decided.
+    pub verdict: FleetVerdict,
+}
+
+/// The incremental cluster dispatcher: offers in (non-decreasing slot
+/// order), per-shard workloads and a routing ledger out.
+#[derive(Debug)]
+pub struct FleetEndpoint {
+    slots: u64,
+    full_bits: u64,
+    template: SessionTemplate,
+    recovery: RecoveryConfig,
+    states: Vec<ShardState>,
+    balancer: Balancer,
+    /// Shard deaths in slot order; each harvested for re-offers exactly
+    /// once, when the offer stream passes its slot.
+    deaths: Vec<(u64, usize)>,
+    next_death: usize,
+    /// Dynamic offers (retries, crash re-offers) keyed by retry slot.
+    dynamic: EventQueue<Offer>,
+    next_seq: u64,
+    sessions: Vec<Vec<SessionRequest>>,
+    in_flight: Vec<Vec<(u64, u64, u64)>>,
+    report: DispatchReport,
+    last_offer_slot: u64,
+    outcomes: Option<Vec<OfferOutcome>>,
+    done: bool,
+}
+
+impl FleetEndpoint {
+    /// Builds a fault-free endpoint over `config`'s fleet for `slots`
+    /// slots of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusterConfig::validate`] and template validation.
+    pub fn new(
+        config: &ClusterConfig,
+        template: SessionTemplate,
+        slots: u64,
+    ) -> Result<Self, ServeError> {
+        Self::with_faults(config, template, slots, &[], 64)
+    }
+
+    /// Builds an endpoint whose balancer routes around the shard
+    /// deaths in `faults` (empty, or one entry per shard).
+    /// `per_shard_hint` pre-sizes the per-shard ledgers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] on a fault-list length
+    /// mismatch; propagates config/template validation.
+    pub fn with_faults(
+        config: &ClusterConfig,
+        template: SessionTemplate,
+        slots: u64,
+        faults: &[ShardFault],
+        per_shard_hint: usize,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        template.validate()?;
+        if !faults.is_empty() && faults.len() != config.shards.len() {
+            return Err(ServeError::InvalidParameter("faults"));
+        }
+        let full_bits = template.full_bits();
+        let shard_count = config.shards.len();
+        let states: Vec<ShardState> = config
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                ShardState::new(
+                    cfg.capacity,
+                    full_bits,
+                    faults.get(i).and_then(|f| f.down_from),
+                    per_shard_hint,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let mut deaths: Vec<(u64, usize)> = faults
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.down_from.map(|d| (d, i)))
+            .collect();
+        deaths.sort_unstable();
+        Ok(FleetEndpoint {
+            slots,
+            full_bits,
+            template,
+            recovery: config.recovery,
+            states,
+            balancer: Balancer::new(config.balancer, config.seed),
+            deaths,
+            next_death: 0,
+            dynamic: EventQueue::with_capacity(64),
+            next_seq: 0,
+            sessions: (0..shard_count)
+                .map(|_| Vec::with_capacity(per_shard_hint))
+                .collect(),
+            in_flight: vec![Vec::new(); shard_count],
+            report: DispatchReport {
+                shard_sessions: vec![0; shard_count],
+                ..DispatchReport::default()
+            },
+            last_offer_slot: 0,
+            outcomes: None,
+            done: false,
+        })
+    }
+
+    /// The simulation horizon in slots.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.slots
+    }
+
+    /// The routing ledger so far.
+    #[must_use]
+    pub fn report(&self) -> &DispatchReport {
+        &self.report
+    }
+
+    /// Turns routing-outcome recording on or off (drained with
+    /// [`FleetEndpoint::take_outcomes`]). A session that backs off and
+    /// later routes produces several entries — the last one is final;
+    /// crash re-offers re-report the same id.
+    pub fn record_outcomes(&mut self, on: bool) {
+        if on {
+            if self.outcomes.is_none() {
+                self.outcomes = Some(Vec::new());
+            }
+        } else {
+            self.outcomes = None;
+        }
+    }
+
+    /// Moves the outcomes recorded since the last call into `out`.
+    pub fn take_outcomes(&mut self, out: &mut Vec<OfferOutcome>) {
+        if let Some(o) = self.outcomes.as_mut() {
+            out.append(o);
+        }
+    }
+
+    /// Offers one session to the fleet. Offers must arrive in
+    /// non-decreasing `slot` order — same-slot offers keep call order,
+    /// exactly like the batch pass keeps workload order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] if `slot` goes
+    /// backwards.
+    pub fn offer(&mut self, id: u64, slot: u64, duration_slots: u64) -> Result<(), ServeError> {
+        if self.done {
+            return Err(ServeError::InvalidParameter("offer_after_shutdown"));
+        }
+        if slot < self.last_offer_slot {
+            return Err(ServeError::InvalidParameter("offer_slot"));
+        }
+        self.last_offer_slot = slot;
+        self.advance(Some(slot));
+        self.report.offered += 1;
+        let offer = Offer {
+            slot,
+            seq: self.next_seq,
+            id,
+            duration_slots,
+            attempt: 0,
+        };
+        self.next_seq += 1;
+        self.route_one(offer);
+        Ok(())
+    }
+
+    /// Runs the stream to completion — remaining deaths harvested,
+    /// remaining retries resolved — leaving only the
+    /// [`FleetEndpoint::finish`] conversion. Split from `finish` so a
+    /// caller recording outcomes can still
+    /// [`FleetEndpoint::take_outcomes`] the end-of-stream resolutions.
+    pub fn drain_pending(&mut self) {
+        self.advance(None);
+        self.done = true;
+    }
+
+    /// Returns the per-shard workloads plus the ledger. The batch
+    /// [`ClusterSim::dispatch`](crate::ClusterSim::dispatch) is
+    /// exactly `offer()` over a sorted workload followed by this.
+    /// Implies [`FleetEndpoint::drain_pending`] unless a shutdown
+    /// already ended the stream.
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<Workload>, DispatchReport) {
+        if !self.done {
+            self.advance(None);
+        }
+        self.into_workloads()
+    }
+
+    /// Gracefully shuts the endpoint down at `slot`: dynamic offers
+    /// due before `slot` still route, retries left in backoff are
+    /// dropped as `drained` (with a [`FleetVerdict::Rejected`]
+    /// outcome), and every reserved admission bit is released exactly
+    /// like crash harvesting releases a dead shard's in-flight
+    /// reservations. On return the conservation ledger
+    /// `dispatched + balancer_rejected + drained == offered + rerouted`
+    /// holds exactly (debug-asserted here, re-checked by the net
+    /// driver). Call [`FleetEndpoint::finish`] afterwards for the
+    /// workloads.
+    pub fn shutdown(&mut self, slot: u64) {
+        self.advance(Some(slot));
+        self.done = true;
+        // Harvest deaths at or before the shutdown edge so their
+        // victims are accounted (as rerouted-then-drained) rather than
+        // silently vanishing with the endpoint.
+        while let Some(&(death_slot, _)) = self.deaths.get(self.next_death) {
+            if death_slot > slot {
+                break;
+            }
+            self.harvest_death();
+        }
+        while let Some(ev) = self.dynamic.pop() {
+            self.report.drained += 1;
+            let offer = ev.payload;
+            if let Some(o) = self.outcomes.as_mut() {
+                o.push(OfferOutcome {
+                    id: offer.id,
+                    slot,
+                    verdict: FleetVerdict::Rejected,
+                });
+            }
+        }
+        let mut still_reserved = 0u64;
+        for state in &mut self.states {
+            still_reserved += state.release_all();
+        }
+        debug_assert!(
+            still_reserved.is_multiple_of(self.full_bits),
+            "reservations are whole frames"
+        );
+        debug_assert_eq!(
+            self.report.dispatched + self.report.balancer_rejected + self.report.drained,
+            self.report.offered + self.report.rerouted,
+            "shutdown conservation"
+        );
+    }
+
+    fn into_workloads(self) -> (Vec<Workload>, DispatchReport) {
+        let template = self.template;
+        let slots = self.slots;
+        let workloads = self
+            .sessions
+            .into_iter()
+            .map(|s| Workload {
+                sessions: s,
+                template,
+                slots,
+            })
+            .collect();
+        (workloads, self.report)
+    }
+
+    /// Processes deaths and dynamic offers that must precede the next
+    /// injected offer (`upcoming = Some(slot)`) or the end of the
+    /// stream (`None`). The merge discipline is the batch pass's:
+    /// a death is harvested once no offer before its slot remains, a
+    /// dynamic offer routes only while strictly earlier than the next
+    /// injected one.
+    fn advance(&mut self, upcoming: Option<u64>) {
+        loop {
+            let next_slot = match (upcoming, self.dynamic.peek_time()) {
+                (Some(u), Some(t)) => Some(u.min(t.ticks())),
+                (Some(u), None) => Some(u),
+                (None, Some(t)) => Some(t.ticks()),
+                (None, None) => None,
+            };
+            if let Some(&(death_slot, _)) = self.deaths.get(self.next_death) {
+                if next_slot.is_none_or(|s| s >= death_slot) {
+                    self.harvest_death();
+                    continue;
+                }
+            }
+            let due = match (upcoming, self.dynamic.peek_time()) {
+                (Some(u), Some(t)) => t.ticks() < u,
+                (None, Some(_)) => true,
+                (_, None) => false,
+            };
+            if !due {
+                break;
+            }
+            let offer = self.dynamic.pop().expect("peeked non-empty").payload;
+            self.route_one(offer);
+        }
+    }
+
+    /// Harvests the next shard death: the sessions then in flight on
+    /// the dead shard are re-offered to the survivors after the first
+    /// backoff delay — the cross-shard leg of the retry path.
+    fn harvest_death(&mut self) {
+        let (death_slot, shard) = self.deaths[self.next_death];
+        self.next_death += 1;
+        for &(arrival, depart, id) in &self.in_flight[shard] {
+            // Active at the crash edge, like the in-shard crash burst:
+            // arrived before the death slot, departing at or after it,
+            // with playout left.
+            if arrival < death_slot && depart > death_slot {
+                self.report.rerouted += 1;
+                let slot = death_slot + self.recovery.backoff_slots(0);
+                self.dynamic.schedule(
+                    SimTime::from_ticks(slot),
+                    Offer {
+                        slot,
+                        seq: self.next_seq,
+                        id,
+                        duration_slots: depart - death_slot,
+                        attempt: 1,
+                    },
+                );
+                self.next_seq += 1;
+            }
+        }
+        self.in_flight[shard].clear();
+    }
+
+    /// Routes one offer — the batch pass's loop body, verbatim.
+    fn route_one(&mut self, offer: Offer) {
+        if offer.slot >= self.slots || offer.duration_slots == 0 {
+            // Backed off past the end of the run (or nothing left to
+            // play): an expired offer is a rejection, never a session
+            // the shards saw — keeps `admitted + rejected == offered`
+            // exact at the cluster level.
+            self.report.balancer_rejected += 1;
+            self.push_outcome(&offer, FleetVerdict::Rejected);
+            return;
+        }
+        for state in &mut self.states {
+            state.release_until(offer.slot);
+        }
+        match self
+            .balancer
+            .route(&mut self.states, offer.slot, self.full_bits)
+        {
+            Route::To(shard) => {
+                let depart = offer.slot + offer.duration_slots;
+                self.states[shard].reserve(depart, self.full_bits);
+                self.sessions[shard].push(SessionRequest {
+                    id: offer.id,
+                    arrival_slot: offer.slot,
+                    duration_slots: offer.duration_slots,
+                });
+                self.report.shard_sessions[shard] += 1;
+                self.report.dispatched += 1;
+                if self.states[shard].dies() {
+                    self.in_flight[shard].push((offer.slot, depart, offer.id));
+                }
+                self.push_outcome(&offer, FleetVerdict::Dispatched { shard });
+            }
+            Route::Refused => {
+                if offer.attempt < self.recovery.max_retries {
+                    self.report.retries += 1;
+                    let slot = offer.slot + self.recovery.backoff_slots(offer.attempt);
+                    self.dynamic.schedule(
+                        SimTime::from_ticks(slot),
+                        Offer {
+                            slot,
+                            seq: self.next_seq,
+                            attempt: offer.attempt + 1,
+                            ..offer
+                        },
+                    );
+                    self.next_seq += 1;
+                    self.push_outcome(&offer, FleetVerdict::Retrying { next_slot: slot });
+                } else {
+                    self.report.balancer_rejected += 1;
+                    self.push_outcome(&offer, FleetVerdict::Rejected);
+                }
+            }
+        }
+    }
+
+    fn push_outcome(&mut self, offer: &Offer, verdict: FleetVerdict) {
+        if let Some(o) = self.outcomes.as_mut() {
+            o.push(OfferOutcome {
+                id: offer.id,
+                slot: offer.slot,
+                verdict,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::BalancerPolicy;
+    use crate::cluster::ClusterSim;
+    use dms_serve::{
+        rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig, ServerConfig,
+    };
+    use dms_sim::FaultPlan;
+
+    fn shard_config(sessions: u64, template: &SessionTemplate) -> ServerConfig {
+        ServerConfig {
+            capacity: CapacityModel {
+                link_bits_per_slot: sessions * template.full_bits(),
+                queue_frames: 64,
+                occupancy_bound: 8.0,
+            },
+            policy: AdmissionPolicy::AdmitAll,
+            degrade: Some(DegradeConfig::default()),
+            buffer_slots: 4,
+            miss_slots: 2,
+        }
+    }
+
+    fn workload(load: f64, capacity_sessions: u64, slots: u64, seed: u64) -> Workload {
+        let mut template = SessionTemplate::streaming_default().expect("preset valid");
+        template.mean_duration_slots = 40.0;
+        let rate = rate_for_load(load, &template, capacity_sessions * template.full_bits());
+        Workload::generate(ArrivalProcess::Poisson { rate }, template, slots, seed)
+            .expect("valid workload")
+    }
+
+    fn config(shards: Vec<ServerConfig>, balancer: BalancerPolicy) -> ClusterConfig {
+        ClusterConfig {
+            shards,
+            balancer,
+            recovery: RecoveryConfig::default(),
+            seed: 99,
+        }
+    }
+
+    /// The seam contract, cluster edition: incremental offers through
+    /// the endpoint must reproduce the batch dispatch bit for bit —
+    /// including under shard deaths and every balancer policy.
+    #[test]
+    fn endpoint_matches_batch_dispatch() {
+        let wl = workload(1.3, 200, 120, 42);
+        let template = wl.template;
+        let faults = [
+            ShardFault::default(),
+            ShardFault {
+                plan: FaultPlan::none(120),
+                down_from: Some(60),
+            },
+        ];
+        for balancer in [
+            BalancerPolicy::RoundRobin,
+            BalancerPolicy::JoinShortestQueue,
+            BalancerPolicy::PowerOfTwoChoices,
+        ] {
+            for fault_arm in [&[][..], &faults[..]] {
+                let cfg = config(
+                    vec![shard_config(150, &template), shard_config(50, &template)],
+                    balancer,
+                );
+                let sim = ClusterSim::new(cfg.clone()).expect("valid");
+                let (batch_wls, batch_report) =
+                    sim.dispatch(&wl, fault_arm).expect("dispatch runs");
+
+                let mut ep = FleetEndpoint::with_faults(&cfg, template, wl.slots, fault_arm, 64)
+                    .expect("valid");
+                let mut order: Vec<usize> = (0..wl.sessions.len()).collect();
+                order.sort_by_key(|&i| wl.sessions[i].arrival_slot);
+                for &i in &order {
+                    let s = wl.sessions[i];
+                    ep.offer(s.id, s.arrival_slot, s.duration_slots)
+                        .expect("sorted offers");
+                }
+                let (ep_wls, ep_report) = ep.finish();
+                assert_eq!(ep_report, batch_report, "{balancer:?}");
+                assert_eq!(ep_wls.len(), batch_wls.len());
+                for (a, b) in ep_wls.iter().zip(&batch_wls) {
+                    assert_eq!(a.sessions, b.sessions, "{balancer:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offers_must_not_go_backwards() {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let cfg = config(
+            vec![shard_config(100, &template)],
+            BalancerPolicy::RoundRobin,
+        );
+        let mut ep = FleetEndpoint::new(&cfg, template, 100).expect("valid");
+        ep.offer(1, 10, 5).expect("in order");
+        assert_eq!(
+            ep.offer(2, 9, 5).unwrap_err(),
+            ServeError::InvalidParameter("offer_slot")
+        );
+    }
+
+    /// Shutdown releases every reserved admission bit (like crash
+    /// harvesting) and the drained ledger balances exactly.
+    #[test]
+    fn shutdown_releases_reservations_and_conserves() {
+        let wl = workload(1.5, 80, 200, 7);
+        let template = wl.template;
+        // A small saturated fleet so refusals (and thus in-backoff
+        // retries at the shutdown edge) actually occur.
+        let cfg = config(
+            vec![shard_config(40, &template), shard_config(40, &template)],
+            BalancerPolicy::JoinShortestQueue,
+        );
+        let mut ep = FleetEndpoint::with_faults(&cfg, template, wl.slots, &[], 64).expect("valid");
+        let mut order: Vec<usize> = (0..wl.sessions.len()).collect();
+        order.sort_by_key(|&i| wl.sessions[i].arrival_slot);
+        let mut fed = 0u64;
+        for &i in &order {
+            let s = wl.sessions[i];
+            if s.arrival_slot >= 100 {
+                break;
+            }
+            ep.offer(s.id, s.arrival_slot, s.duration_slots)
+                .expect("sorted offers");
+            fed += 1;
+        }
+        ep.shutdown(100);
+        let (_, report) = ep.finish();
+        assert_eq!(report.offered, fed);
+        assert!(report.drained > 0, "a 1.5x-load fleet has retries pending");
+        assert_eq!(
+            report.dispatched + report.balancer_rejected + report.drained,
+            report.offered + report.rerouted,
+            "shutdown conservation ledger"
+        );
+    }
+
+    #[test]
+    fn outcome_stream_covers_every_offer() {
+        let wl = workload(1.4, 60, 150, 11);
+        let template = wl.template;
+        let cfg = config(
+            vec![shard_config(30, &template), shard_config(30, &template)],
+            BalancerPolicy::JoinShortestQueue,
+        );
+        let mut ep = FleetEndpoint::new(&cfg, template, wl.slots).expect("valid");
+        ep.record_outcomes(true);
+        let mut order: Vec<usize> = (0..wl.sessions.len()).collect();
+        order.sort_by_key(|&i| wl.sessions[i].arrival_slot);
+        let mut outcomes = Vec::new();
+        for &i in &order {
+            let s = wl.sessions[i];
+            ep.offer(s.id, s.arrival_slot, s.duration_slots)
+                .expect("sorted offers");
+            ep.take_outcomes(&mut outcomes);
+        }
+        ep.drain_pending();
+        ep.take_outcomes(&mut outcomes);
+        let (_, report) = ep.finish();
+        let dispatched = outcomes
+            .iter()
+            .filter(|o| matches!(o.verdict, FleetVerdict::Dispatched { .. }))
+            .count() as u64;
+        let rejected = outcomes
+            .iter()
+            .filter(|o| o.verdict == FleetVerdict::Rejected)
+            .count() as u64;
+        let retrying = outcomes
+            .iter()
+            .filter(|o| matches!(o.verdict, FleetVerdict::Retrying { .. }))
+            .count() as u64;
+        assert_eq!(dispatched, report.dispatched);
+        assert_eq!(rejected, report.balancer_rejected);
+        assert_eq!(retrying, report.retries);
+    }
+}

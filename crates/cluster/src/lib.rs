@@ -31,8 +31,10 @@
 
 pub mod balancer;
 pub mod cluster;
+pub mod endpoint;
 
 pub use balancer::BalancerPolicy;
 pub use cluster::{
     aggregate_utility, ClusterConfig, ClusterReport, ClusterSim, DispatchReport, ShardFault,
 };
+pub use endpoint::{FleetEndpoint, FleetVerdict, OfferOutcome};

@@ -1,0 +1,844 @@
+//! Lockstep drivers: frames in, slots stepped, verdicts out.
+//!
+//! # The tick ↔ slot lockstep contract
+//!
+//! The engine never looks at a clock. Every [`Frame::Offer`] and
+//! [`Frame::Heartbeat`] carries the *slot* it belongs to, and the
+//! driver steps the engine exactly up to that slot before applying
+//! the frame — wall-clock pacing (a [`dms_sim::TickClock`] in the
+//! load generator) only decides *when* frames are sent, never *what*
+//! they mean. Two consequences:
+//!
+//! 1. A socket-fed run is a deterministic function of the offer
+//!    trace: same `(id, arrival_slot, duration_slots)` sequence in,
+//!    byte-identical run-log out, regardless of scheduling jitter,
+//!    socket fragmentation, or `DMS_THREADS`.
+//! 2. Direct injection is the degenerate transport: [`drive_direct`]
+//!    feeds the *same frames* through the *same* [`SessionDriver`]
+//!    without a socket, which is what the loopback differential test
+//!    compares against.
+//!
+//! Offers must arrive with non-decreasing slots (the generator owns
+//! its own timeline); a slot going backwards is a
+//! [`NetError::Protocol`] violation, not a reorder. An offer whose
+//! slot the wall clock has already passed simply lands on the next
+//! unstepped slot — [`dms_serve::ServerEngine::offer`]'s late-frame
+//! rule.
+//!
+//! On [`Frame::Shutdown`] the driver drains every remaining slot so
+//! in-flight sessions play out, then enforces the conservation
+//! invariant `admitted + rejected + drained == offered` — the same
+//! ledger discipline [`dms_cluster::FleetEndpoint::shutdown`] applies
+//! to reserved admission bits.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+
+use dms_cluster::{DispatchReport, FleetEndpoint, FleetVerdict, OfferOutcome};
+use dms_serve::{
+    ServeError, ServerConfig, ServerEngine, SessionRequest, SessionTemplate, Workload,
+};
+use dms_sim::TickClock;
+
+use crate::endpoint::NetConnection;
+use crate::error::NetError;
+use crate::frame::{Frame, FrameCodec, PROTOCOL_VERSION};
+
+/// Knobs for what a [`SessionDriver`] emits beyond verdicts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriverConfig {
+    /// Emit a [`Frame::Heartbeat`] every this many stepped slots
+    /// (0 disables). Heartbeats are liveness, not state — they never
+    /// appear in the run-log.
+    pub heartbeat_every_slots: u64,
+    /// Emit a per-slot aggregate [`Frame::Data`] (id 0) with the bits
+    /// delivered in that slot.
+    pub emit_data: bool,
+}
+
+/// Counters a load generator keeps of what the server sent back.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoadgenReport {
+    /// Offers written to the wire.
+    pub offered: u64,
+    /// [`Frame::Admit`] verdicts received.
+    pub admitted: u64,
+    /// [`Frame::Reject`] verdicts received.
+    pub rejected: u64,
+    /// [`Frame::Heartbeat`] frames received.
+    pub heartbeats: u64,
+    /// [`Frame::Data`] frames received.
+    pub data_frames: u64,
+}
+
+impl LoadgenReport {
+    fn absorb(&mut self, frame: &Frame) {
+        match frame {
+            Frame::Admit { .. } => self.admitted += 1,
+            Frame::Reject { .. } => self.rejected += 1,
+            Frame::Heartbeat { .. } => self.heartbeats += 1,
+            Frame::Data { .. } => self.data_frames += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Maps a frame stream onto one [`ServerEngine`]: the server half of
+/// a `dms-net` session. Feed it decoded frames via
+/// [`SessionDriver::on_frame`]; it steps the engine in lockstep,
+/// pushes reply frames into the caller's buffer, and accumulates the
+/// byte-deterministic run-log.
+#[derive(Debug)]
+pub struct SessionDriver {
+    engine: ServerEngine,
+    cfg: DriverConfig,
+    verdict_buf: Vec<(u64, bool)>,
+    log: String,
+    hello_seen: bool,
+    done: bool,
+    last_offer_slot: u64,
+    delivered_last: u64,
+}
+
+impl SessionDriver {
+    /// A driver over a fresh nominal engine for `slots` slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServerEngine::new`] validation.
+    pub fn new(
+        config: &ServerConfig,
+        template: SessionTemplate,
+        slots: u64,
+        cfg: DriverConfig,
+    ) -> Result<Self, ServeError> {
+        let mut engine = ServerEngine::new(config, template, slots)?;
+        engine.record_verdicts(true);
+        let mut log = String::new();
+        let _ = writeln!(log, "dms-net run-log v1");
+        let _ = writeln!(log, "horizon={slots}");
+        Ok(SessionDriver {
+            engine,
+            cfg,
+            verdict_buf: Vec::new(),
+            log,
+            hello_seen: false,
+            done: false,
+            last_offer_slot: 0,
+            delivered_last: 0,
+        })
+    }
+
+    /// Whether the session finished (shutdown ack sent).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Slot horizon of the underlying engine.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.engine.horizon()
+    }
+
+    /// The run-log so far. Identical for socket-fed and
+    /// direct-injected runs of the same offer trace — the log records
+    /// slots and verdicts, never the transport.
+    #[must_use]
+    pub fn run_log(&self) -> &str {
+        &self.log
+    }
+
+    /// Consumes the driver, returning the final run-log.
+    #[must_use]
+    pub fn into_run_log(self) -> String {
+        self.log
+    }
+
+    /// The engine, for report inspection after the session ends.
+    #[must_use]
+    pub fn engine(&self) -> &ServerEngine {
+        &self.engine
+    }
+
+    /// Applies one frame, pushing any replies into `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Version`] on a handshake mismatch,
+    /// [`NetError::Protocol`] on out-of-order frames (offer before
+    /// hello, slot going backwards, frames after shutdown, verdict
+    /// frames sent *to* the server).
+    pub fn on_frame(&mut self, frame: Frame, out: &mut Vec<Frame>) -> Result<(), NetError> {
+        if self.done {
+            return Err(NetError::Protocol("frame after shutdown"));
+        }
+        match frame {
+            Frame::Hello {
+                version,
+                client_id,
+                slots,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(NetError::Version {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+                if slots != self.engine.horizon() {
+                    return Err(NetError::Protocol("slot horizon mismatch"));
+                }
+                self.hello_seen = true;
+                out.push(Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    client_id,
+                    slots,
+                });
+                Ok(())
+            }
+            Frame::Offer {
+                id,
+                arrival_slot,
+                duration_slots,
+            } => {
+                if !self.hello_seen {
+                    return Err(NetError::Protocol("offer before hello"));
+                }
+                if arrival_slot < self.last_offer_slot {
+                    return Err(NetError::Protocol("offer slot went backwards"));
+                }
+                self.last_offer_slot = arrival_slot;
+                self.advance_to(arrival_slot, out);
+                self.engine.offer(SessionRequest {
+                    id,
+                    arrival_slot,
+                    duration_slots,
+                });
+                Ok(())
+            }
+            Frame::Heartbeat { slot } => {
+                if !self.hello_seen {
+                    return Err(NetError::Protocol("heartbeat before hello"));
+                }
+                self.advance_to(slot, out);
+                Ok(())
+            }
+            Frame::Shutdown { reason } => {
+                if !self.hello_seen {
+                    return Err(NetError::Protocol("shutdown before hello"));
+                }
+                // Graceful drain: step every remaining slot so
+                // admitted sessions play out and queued offers get
+                // their verdicts.
+                self.advance_to(self.engine.horizon(), out);
+                let offered = self.engine.offered();
+                let admitted = self.engine.admitted();
+                let rejected = self.engine.rejected();
+                let drained = self.engine.undecided();
+                // Conservation: every offer is admitted, rejected, or
+                // drained at shutdown — nothing leaks.
+                assert_eq!(
+                    admitted + rejected + drained,
+                    offered,
+                    "driver conservation violated"
+                );
+                let _ = writeln!(
+                    self.log,
+                    "summary offered={offered} admitted={admitted} rejected={rejected} \
+                     drained={drained} delivered_bits={} slots={}",
+                    self.engine.delivered_bits(),
+                    self.engine.slot(),
+                );
+                out.push(Frame::Shutdown { reason });
+                self.done = true;
+                Ok(())
+            }
+            Frame::Admit { .. }
+            | Frame::Reject { .. }
+            | Frame::Data { .. }
+            | Frame::Shed { .. } => Err(NetError::Protocol("verdict frame sent to server")),
+        }
+    }
+
+    /// Steps the engine up to (not beyond) `target`, clamped to the
+    /// horizon, emitting verdict frames and run-log lines for every
+    /// slot stepped.
+    fn advance_to(&mut self, target: u64, out: &mut Vec<Frame>) {
+        let target = target.min(self.engine.horizon());
+        while self.engine.slot() < target {
+            let stepping = self.engine.slot();
+            self.engine.step_slot(None);
+            self.engine.take_verdicts(&mut self.verdict_buf);
+            for &(id, admitted) in &self.verdict_buf {
+                let word = if admitted { "admit" } else { "reject" };
+                let _ = writeln!(self.log, "verdict slot={stepping} id={id} {word}");
+                out.push(if admitted {
+                    Frame::Admit { id, slot: stepping }
+                } else {
+                    Frame::Reject { id, slot: stepping }
+                });
+            }
+            self.verdict_buf.clear();
+            if self.cfg.emit_data {
+                let delivered = self.engine.delivered_bits();
+                out.push(Frame::Data {
+                    id: 0,
+                    slot: stepping,
+                    bits: delivered - self.delivered_last,
+                });
+                self.delivered_last = delivered;
+            }
+            let hb = self.cfg.heartbeat_every_slots;
+            if hb > 0 && self.engine.slot().is_multiple_of(hb) {
+                out.push(Frame::Heartbeat {
+                    slot: self.engine.slot(),
+                });
+            }
+        }
+    }
+}
+
+/// Runs a [`SessionDriver`] over a connection: decode frames, apply,
+/// write replies, until the driver reports done. Returns once the
+/// shutdown ack has been flushed.
+///
+/// # Errors
+///
+/// [`NetError::Closed`] if the peer disconnects before a graceful
+/// shutdown; frame/protocol errors from the driver; I/O errors from
+/// the socket.
+pub fn serve_connection(
+    conn: &mut NetConnection,
+    driver: &mut SessionDriver,
+) -> Result<(), NetError> {
+    let mut codec = FrameCodec::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut out: Vec<Frame> = Vec::new();
+    let mut wire: Vec<u8> = Vec::new();
+    loop {
+        let n = conn.read(&mut buf)?;
+        if n == 0 {
+            return Err(NetError::Closed);
+        }
+        codec.push(&buf[..n]);
+        while let Some(frame) = codec.next_frame()? {
+            driver.on_frame(frame, &mut out)?;
+        }
+        if !out.is_empty() {
+            wire.clear();
+            for f in &out {
+                f.encode_into(&mut wire);
+            }
+            conn.write_all(&wire)?;
+            conn.flush()?;
+            out.clear();
+        }
+        if driver.is_done() {
+            return Ok(());
+        }
+    }
+}
+
+/// The client half: replays `offers` over `conn` and collects the
+/// server's verdicts.
+///
+/// A second handle to the connection ([`NetConnection::try_clone`])
+/// drains the server's frames on a reader thread while this thread
+/// writes — with 10⁴-session traces both directions carry hundreds of
+/// kilobytes, far past default socket buffers, so a half-duplex client
+/// would deadlock against the server's verdict backlog.
+///
+/// With `pace: Some(clock)` the writer holds each offer until the
+/// wall clock reaches its arrival slot ([`TickClock::sleep_until_slot`])
+/// — real-time replay. Pacing changes *when* bytes move, never what
+/// they say, so the server's run-log is identical paced or not; the
+/// loopback soak runs unpaced for speed.
+///
+/// # Errors
+///
+/// Handshake ([`NetError::Version`]/[`NetError::Protocol`]), transport
+/// ([`NetError::Io`], [`NetError::Closed`]) and frame-grammar errors.
+pub fn run_loadgen(
+    conn: &mut NetConnection,
+    client_id: u64,
+    slots: u64,
+    offers: &[SessionRequest],
+    pace: Option<&TickClock>,
+) -> Result<LoadgenReport, NetError> {
+    let reader_conn = conn.try_clone()?;
+    let reader = std::thread::spawn(move || read_until_shutdown(reader_conn));
+
+    let mut wire: Vec<u8> = Vec::with_capacity(64 * 1024);
+    Frame::Hello {
+        version: PROTOCOL_VERSION,
+        client_id,
+        slots,
+    }
+    .encode_into(&mut wire);
+    let mut paced_slot = 0u64;
+    for req in offers {
+        if let Some(clock) = pace {
+            if req.arrival_slot > paced_slot {
+                // Flush what the peer can already act on, then wait
+                // for the wall clock to catch up to the next slot.
+                if !wire.is_empty() {
+                    conn.write_all(&wire)?;
+                    conn.flush()?;
+                    wire.clear();
+                }
+                clock.sleep_until_slot(req.arrival_slot);
+                paced_slot = req.arrival_slot;
+            }
+        }
+        Frame::Offer {
+            id: req.id,
+            arrival_slot: req.arrival_slot,
+            duration_slots: req.duration_slots,
+        }
+        .encode_into(&mut wire);
+        if wire.len() >= 32 * 1024 {
+            conn.write_all(&wire)?;
+            wire.clear();
+        }
+    }
+    Frame::Shutdown { reason: 0 }.encode_into(&mut wire);
+    conn.write_all(&wire)?;
+    conn.flush()?;
+
+    let mut report = reader
+        .join()
+        .map_err(|_| NetError::Protocol("reader thread panicked"))??;
+    report.offered = offers.len() as u64;
+    Ok(report)
+}
+
+fn read_until_shutdown(mut conn: NetConnection) -> Result<LoadgenReport, NetError> {
+    let mut codec = FrameCodec::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut report = LoadgenReport::default();
+    loop {
+        let n = conn.read(&mut buf)?;
+        if n == 0 {
+            return Err(NetError::Closed);
+        }
+        codec.push(&buf[..n]);
+        while let Some(frame) = codec.next_frame()? {
+            match frame {
+                Frame::Hello { version, .. } => {
+                    if version != PROTOCOL_VERSION {
+                        return Err(NetError::Version {
+                            ours: PROTOCOL_VERSION,
+                            theirs: version,
+                        });
+                    }
+                }
+                Frame::Shutdown { .. } => return Ok(report),
+                other => report.absorb(&other),
+            }
+        }
+    }
+}
+
+/// The transportless differential arm: pushes the exact frame
+/// sequence [`run_loadgen`] would send through the same
+/// [`SessionDriver`], no socket involved. Returns the final run-log
+/// and the verdict counts a loadgen would have seen — byte- and
+/// count-identical to the socket path for the same offer trace.
+///
+/// # Errors
+///
+/// The same driver protocol errors a socket-fed run can hit.
+pub fn drive_direct(
+    mut driver: SessionDriver,
+    client_id: u64,
+    offers: &[SessionRequest],
+) -> Result<(String, LoadgenReport), NetError> {
+    let slots = driver.horizon();
+    let mut out: Vec<Frame> = Vec::new();
+    let mut report = LoadgenReport::default();
+    driver.on_frame(
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client_id,
+            slots,
+        },
+        &mut out,
+    )?;
+    for req in offers {
+        driver.on_frame(
+            Frame::Offer {
+                id: req.id,
+                arrival_slot: req.arrival_slot,
+                duration_slots: req.duration_slots,
+            },
+            &mut out,
+        )?;
+    }
+    driver.on_frame(Frame::Shutdown { reason: 0 }, &mut out)?;
+    for f in &out {
+        report.absorb(f);
+    }
+    report.offered = offers.len() as u64;
+    Ok((driver.into_run_log(), report))
+}
+
+/// The fleet analogue of [`SessionDriver`]: frames route offers into
+/// a [`FleetEndpoint`] (mirror predictors + balancer) instead of a
+/// single engine. Dispatched offers come back as [`Frame::Admit`]
+/// carrying the decision slot, balancer rejections as
+/// [`Frame::Reject`]; retries stay internal until they resolve.
+/// After shutdown, [`FleetDriver::finish`] yields the per-shard
+/// workloads for [`dms_cluster::ClusterSim::run_dispatched`].
+#[derive(Debug)]
+pub struct FleetDriver {
+    endpoint: FleetEndpoint,
+    outcome_buf: Vec<OfferOutcome>,
+    hello_seen: bool,
+    done: bool,
+    last_slot: u64,
+}
+
+impl FleetDriver {
+    /// Wraps an endpoint; turns its outcome stream on.
+    #[must_use]
+    pub fn new(mut endpoint: FleetEndpoint) -> Self {
+        endpoint.record_outcomes(true);
+        FleetDriver {
+            endpoint,
+            outcome_buf: Vec::new(),
+            hello_seen: false,
+            done: false,
+            last_slot: 0,
+        }
+    }
+
+    /// Whether the session finished (shutdown ack sent).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Applies one frame, pushing replies into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same protocol surface as [`SessionDriver::on_frame`]; endpoint
+    /// refusals (offer after shutdown, slot going backwards) surface
+    /// as [`NetError::Protocol`].
+    pub fn on_frame(&mut self, frame: Frame, out: &mut Vec<Frame>) -> Result<(), NetError> {
+        if self.done {
+            return Err(NetError::Protocol("frame after shutdown"));
+        }
+        match frame {
+            Frame::Hello {
+                version,
+                client_id,
+                slots,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(NetError::Version {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+                if slots != self.endpoint.horizon() {
+                    return Err(NetError::Protocol("slot horizon mismatch"));
+                }
+                self.hello_seen = true;
+                out.push(Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    client_id,
+                    slots,
+                });
+                Ok(())
+            }
+            Frame::Offer {
+                id,
+                arrival_slot,
+                duration_slots,
+            } => {
+                if !self.hello_seen {
+                    return Err(NetError::Protocol("offer before hello"));
+                }
+                self.last_slot = self.last_slot.max(arrival_slot);
+                self.endpoint
+                    .offer(id, arrival_slot, duration_slots)
+                    .map_err(|_| NetError::Protocol("offer refused by endpoint"))?;
+                self.pump(out);
+                Ok(())
+            }
+            Frame::Heartbeat { slot } => {
+                if !self.hello_seen {
+                    return Err(NetError::Protocol("heartbeat before hello"));
+                }
+                self.last_slot = self.last_slot.max(slot);
+                Ok(())
+            }
+            Frame::Shutdown { reason } => {
+                if !self.hello_seen {
+                    return Err(NetError::Protocol("shutdown before hello"));
+                }
+                self.endpoint.shutdown(self.last_slot);
+                self.pump(out);
+                out.push(Frame::Shutdown { reason });
+                self.done = true;
+                Ok(())
+            }
+            Frame::Admit { .. }
+            | Frame::Reject { .. }
+            | Frame::Data { .. }
+            | Frame::Shed { .. } => Err(NetError::Protocol("verdict frame sent to server")),
+        }
+    }
+
+    fn pump(&mut self, out: &mut Vec<Frame>) {
+        self.endpoint.take_outcomes(&mut self.outcome_buf);
+        for o in &self.outcome_buf {
+            match o.verdict {
+                FleetVerdict::Dispatched { .. } => out.push(Frame::Admit {
+                    id: o.id,
+                    slot: o.slot,
+                }),
+                FleetVerdict::Rejected => out.push(Frame::Reject {
+                    id: o.id,
+                    slot: o.slot,
+                }),
+                FleetVerdict::Retrying { .. } => {}
+            }
+        }
+        self.outcome_buf.clear();
+    }
+
+    /// Consumes the driver, yielding the per-shard workloads and the
+    /// dispatch report for [`dms_cluster::ClusterSim::run_dispatched`].
+    #[must_use]
+    pub fn finish(self) -> (Vec<Workload>, DispatchReport) {
+        self.endpoint.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dms_serve::{
+        rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, SessionTemplate, Workload,
+    };
+
+    fn setup(load: f64, slots: u64, seed: u64) -> (ServerConfig, Workload) {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let cfg = ServerConfig {
+            capacity: CapacityModel {
+                link_bits_per_slot: 20 * template.full_bits(),
+                queue_frames: 64,
+                occupancy_bound: 8.0,
+            },
+            policy: AdmissionPolicy::QueuePredictor,
+            degrade: Some(dms_serve::DegradeConfig::default()),
+            buffer_slots: 4,
+            miss_slots: 2,
+        };
+        let rate = rate_for_load(load, &template, cfg.capacity.link_bits_per_slot);
+        let workload = Workload::generate(ArrivalProcess::Poisson { rate }, template, slots, seed)
+            .expect("valid");
+        (cfg, workload)
+    }
+
+    fn driver_for(cfg: &ServerConfig, workload: &Workload) -> SessionDriver {
+        SessionDriver::new(
+            cfg,
+            workload.template,
+            workload.slots,
+            DriverConfig::default(),
+        )
+        .expect("valid driver")
+    }
+
+    #[test]
+    fn offer_before_hello_is_a_protocol_error() {
+        let (cfg, workload) = setup(1.0, 50, 1);
+        let mut driver = driver_for(&cfg, &workload);
+        let mut out = Vec::new();
+        let err = driver.on_frame(
+            Frame::Offer {
+                id: 1,
+                arrival_slot: 0,
+                duration_slots: 10,
+            },
+            &mut out,
+        );
+        assert!(matches!(err, Err(NetError::Protocol("offer before hello"))));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_at_hello() {
+        let (cfg, workload) = setup(1.0, 50, 1);
+        let mut driver = driver_for(&cfg, &workload);
+        let mut out = Vec::new();
+        let err = driver.on_frame(
+            Frame::Hello {
+                version: PROTOCOL_VERSION + 1,
+                client_id: 1,
+                slots: 50,
+            },
+            &mut out,
+        );
+        assert!(matches!(err, Err(NetError::Version { ours: 1, theirs: 2 })));
+    }
+
+    #[test]
+    fn offers_going_backwards_are_rejected() {
+        let (cfg, workload) = setup(1.0, 50, 1);
+        let mut driver = driver_for(&cfg, &workload);
+        let mut out = Vec::new();
+        driver
+            .on_frame(
+                Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    client_id: 1,
+                    slots: 50,
+                },
+                &mut out,
+            )
+            .unwrap();
+        driver
+            .on_frame(
+                Frame::Offer {
+                    id: 1,
+                    arrival_slot: 10,
+                    duration_slots: 5,
+                },
+                &mut out,
+            )
+            .unwrap();
+        let err = driver.on_frame(
+            Frame::Offer {
+                id: 2,
+                arrival_slot: 9,
+                duration_slots: 5,
+            },
+            &mut out,
+        );
+        assert!(matches!(
+            err,
+            Err(NetError::Protocol("offer slot went backwards"))
+        ));
+    }
+
+    #[test]
+    fn direct_drive_conserves_and_matches_the_batch_report() {
+        let (cfg, workload) = setup(1.3, 300, 7);
+        let batch = dms_serve::ServerSim::new(cfg)
+            .expect("valid")
+            .run(&workload)
+            .expect("runs");
+
+        let driver = driver_for(&cfg, &workload);
+        let (log, report) = drive_direct(driver, 99, &workload.sessions).expect("drives");
+
+        assert_eq!(report.offered, batch.offered);
+        assert_eq!(report.admitted, batch.admitted);
+        assert_eq!(report.rejected, batch.rejected);
+        assert_eq!(report.admitted + report.rejected, report.offered);
+        assert!(log.starts_with("dms-net run-log v1\nhorizon=300\n"));
+        let summary = log.lines().last().expect("has summary");
+        assert!(summary.starts_with("summary offered="), "got: {summary}");
+        assert_eq!(
+            log.matches("verdict ").count() as u64,
+            report.admitted + report.rejected
+        );
+    }
+
+    #[test]
+    fn drained_offers_balance_the_shutdown_ledger() {
+        let (cfg, workload) = setup(1.0, 50, 3);
+        let mut driver = driver_for(&cfg, &workload);
+        let mut out = Vec::new();
+        driver
+            .on_frame(
+                Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    client_id: 1,
+                    slots: 50,
+                },
+                &mut out,
+            )
+            .unwrap();
+        // An offer stamped beyond the horizon can never be decided:
+        // it must show up as drained, not vanish.
+        driver
+            .on_frame(
+                Frame::Offer {
+                    id: 7,
+                    arrival_slot: 60,
+                    duration_slots: 5,
+                },
+                &mut out,
+            )
+            .unwrap();
+        driver
+            .on_frame(Frame::Shutdown { reason: 0 }, &mut out)
+            .unwrap();
+        let log = driver.into_run_log();
+        let summary = log.lines().last().unwrap();
+        assert!(
+            summary.contains("offered=1 admitted=0 rejected=0 drained=1"),
+            "got: {summary}"
+        );
+    }
+
+    #[test]
+    fn fleet_driver_matches_batch_dispatch_counts() {
+        use dms_cluster::{BalancerPolicy, ClusterConfig, ClusterSim};
+
+        let (cfg, workload) = setup(1.5, 200, 11);
+        let cluster = ClusterConfig {
+            shards: vec![cfg, cfg],
+            balancer: BalancerPolicy::JoinShortestQueue,
+            recovery: dms_serve::RecoveryConfig::default(),
+            seed: 17,
+        };
+        let sim = ClusterSim::new(cluster.clone()).expect("valid");
+        let (_, batch) = sim.dispatch(&workload, &[]).expect("dispatches");
+
+        let endpoint = FleetEndpoint::new(&cluster, workload.template, workload.slots)
+            .expect("valid endpoint");
+        let mut driver = FleetDriver::new(endpoint);
+        let mut out = Vec::new();
+        driver
+            .on_frame(
+                Frame::Hello {
+                    version: PROTOCOL_VERSION,
+                    client_id: 5,
+                    slots: workload.slots,
+                },
+                &mut out,
+            )
+            .unwrap();
+        let mut order: Vec<usize> = (0..workload.sessions.len()).collect();
+        order.sort_by_key(|&i| workload.sessions[i].arrival_slot);
+        for &i in &order {
+            let s = workload.sessions[i];
+            driver
+                .on_frame(
+                    Frame::Offer {
+                        id: s.id,
+                        arrival_slot: s.arrival_slot,
+                        duration_slots: s.duration_slots,
+                    },
+                    &mut out,
+                )
+                .unwrap();
+        }
+        driver
+            .on_frame(Frame::Shutdown { reason: 0 }, &mut out)
+            .unwrap();
+        let (_, dispatch) = driver.finish();
+        assert_eq!(dispatch.dispatched, batch.dispatched);
+        assert_eq!(dispatch.balancer_rejected, batch.balancer_rejected);
+        let admits = out
+            .iter()
+            .filter(|f| matches!(f, Frame::Admit { .. }))
+            .count() as u64;
+        assert_eq!(admits, dispatch.dispatched);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the wire protocol: the codec must be a
+//! bijection on well-formed streams and a total function (error, not
+//! panic) on everything else.
+
+use dms_net::{Frame, FrameCodec, NetError, MAX_PAYLOAD, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+fn any_u64() -> std::ops::RangeInclusive<u64> {
+    0..=u64::MAX
+}
+
+fn any_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (0u16..=u16::MAX, any_u64(), any_u64()).prop_map(|(version, client_id, slots)| {
+            Frame::Hello {
+                version,
+                client_id,
+                slots,
+            }
+        }),
+        (any_u64(), any_u64(), any_u64()).prop_map(|(id, arrival_slot, duration_slots)| {
+            Frame::Offer {
+                id,
+                arrival_slot,
+                duration_slots,
+            }
+        }),
+        (any_u64(), any_u64()).prop_map(|(id, slot)| Frame::Admit { id, slot }),
+        (any_u64(), any_u64()).prop_map(|(id, slot)| Frame::Reject { id, slot }),
+        (any_u64(), any_u64(), any_u64()).prop_map(|(id, slot, bits)| Frame::Data {
+            id,
+            slot,
+            bits
+        }),
+        (any_u64(), 0u32..=u32::MAX).prop_map(|(slot, layers)| Frame::Shed { slot, layers }),
+        any_u64().prop_map(|slot| Frame::Heartbeat { slot }),
+        (0u8..=255).prop_map(|reason| Frame::Shutdown { reason }),
+    ]
+}
+
+proptest! {
+    /// encode ∘ decode is the identity on every frame.
+    #[test]
+    fn round_trip(frame in any_frame()) {
+        let bytes = frame.encode();
+        let decoded = Frame::decode(&bytes[4..]).expect("well-formed");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// A stream of frames survives arbitrary fragmentation: the codec
+    /// reassembles the exact sequence no matter how the transport
+    /// chops it up.
+    #[test]
+    fn codec_is_fragmentation_invariant(
+        frames in proptest::collection::vec(any_frame(), 1..20),
+        cuts in proptest::collection::vec(1usize..16, 1..40),
+    ) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        let mut codec = FrameCodec::new();
+        let mut decoded = Vec::new();
+        let mut at = 0;
+        let mut cut = 0;
+        while at < wire.len() {
+            let step = cuts[cut % cuts.len()].min(wire.len() - at);
+            cut += 1;
+            codec.push(&wire[at..at + step]);
+            at += step;
+            while let Some(f) = codec.next_frame().expect("well-formed stream") {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(codec.pending(), 0);
+    }
+
+    /// Truncating a valid frame's payload is always an error, never a
+    /// panic and never a bogus decode.
+    #[test]
+    fn truncation_is_rejected(frame in any_frame(), keep in 0usize..30) {
+        let bytes = frame.encode();
+        let payload = bytes[4..].to_vec();
+        if keep < payload.len() {
+            prop_assert!(matches!(
+                Frame::decode(&payload[..keep]),
+                Err(NetError::Frame(_))
+            ));
+        }
+    }
+
+    /// Arbitrary bytes thrown at the decoder never panic; any decode
+    /// that *succeeds* must re-encode to the same payload (no aliased
+    /// interpretations).
+    #[test]
+    fn arbitrary_bytes_never_panic(payload in proptest::collection::vec(0u8..=255, 0..64)) {
+        if let Ok(frame) = Frame::decode(&payload) {
+            let bytes = frame.encode();
+            prop_assert_eq!(bytes[4..].to_vec(), payload);
+        }
+    }
+
+    /// The streaming codec rejects oversized length prefixes outright
+    /// instead of buffering towards them.
+    #[test]
+    fn oversized_lengths_fail_fast(len in (MAX_PAYLOAD + 1)..=u32::MAX) {
+        let mut codec = FrameCodec::new();
+        codec.push(&len.to_le_bytes());
+        prop_assert!(matches!(
+            codec.next_frame(),
+            Err(NetError::Frame("oversized payload"))
+        ));
+    }
+
+    /// Corrupting a single byte of a valid wire stream either still
+    /// decodes (the flip hit a don't-care bit of an integer field) or
+    /// errors — it never panics. Run against the *streaming* codec so
+    /// the length prefix is in scope for corruption too.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        frame in any_frame(),
+        at in 0usize..32,
+        flip in 1u8..=255,
+    ) {
+        let mut wire = frame.encode();
+        let at = at % wire.len();
+        wire[at] ^= flip;
+        let mut codec = FrameCodec::new();
+        codec.push(&wire);
+        // Drain until the codec errors, stalls, or empties — all fine.
+        while let Ok(Some(_)) = codec.next_frame() {}
+    }
+}
+
+#[test]
+fn protocol_version_is_one() {
+    // The version is wire-visible; bumping it is a compatibility
+    // break and must be deliberate.
+    assert_eq!(PROTOCOL_VERSION, 1);
+}

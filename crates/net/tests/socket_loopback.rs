@@ -1,0 +1,179 @@
+//! End-to-end loopback over real sockets: a server thread running
+//! [`dms_net::serve_connection`] against a loadgen on the other end,
+//! over both transports, checked against the transportless
+//! [`dms_net::drive_direct`] arm.
+
+use std::thread;
+
+use dms_net::{
+    connect_with_backoff, drive_direct, run_loadgen, serve_connection, DriverConfig, EndpointAddr,
+    Listener, NetConnection, ReconnectPolicy, SessionDriver,
+};
+use dms_serve::{
+    rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig, ServerConfig,
+    SessionTemplate, Workload,
+};
+
+fn setup(load: f64, slots: u64, seed: u64) -> (ServerConfig, Workload) {
+    let template = SessionTemplate::streaming_default().expect("preset valid");
+    let cfg = ServerConfig {
+        capacity: CapacityModel {
+            link_bits_per_slot: 20 * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        },
+        policy: AdmissionPolicy::QueuePredictor,
+        degrade: Some(DegradeConfig::default()),
+        buffer_slots: 4,
+        miss_slots: 2,
+    };
+    let rate = rate_for_load(load, &template, cfg.capacity.link_bits_per_slot);
+    let workload =
+        Workload::generate(ArrivalProcess::Poisson { rate }, template, slots, seed).expect("valid");
+    (cfg, workload)
+}
+
+/// Runs the workload through a server on `server_conn` while the
+/// caller's thread plays loadgen on `client_conn`; returns
+/// (run_log, loadgen report).
+fn soak_over(
+    mut server_conn: NetConnection,
+    mut client_conn: NetConnection,
+    cfg: &ServerConfig,
+    workload: &Workload,
+) -> (String, dms_net::LoadgenReport) {
+    let mut driver = SessionDriver::new(
+        cfg,
+        workload.template,
+        workload.slots,
+        DriverConfig::default(),
+    )
+    .expect("valid driver");
+    let server = thread::spawn(move || {
+        serve_connection(&mut server_conn, &mut driver).expect("serves");
+        driver.into_run_log()
+    });
+    let report = run_loadgen(
+        &mut client_conn,
+        1,
+        workload.slots,
+        &workload.sessions,
+        None,
+    )
+    .expect("loadgen runs");
+    let log = server.join().expect("server thread");
+    (log, report)
+}
+
+#[test]
+fn socketpair_run_is_byte_identical_to_direct_injection() {
+    let (cfg, workload) = setup(1.2, 300, 5);
+
+    let direct_driver = SessionDriver::new(
+        &cfg,
+        workload.template,
+        workload.slots,
+        DriverConfig::default(),
+    )
+    .expect("valid driver");
+    let (direct_log, direct_report) =
+        drive_direct(direct_driver, 1, &workload.sessions).expect("direct drives");
+
+    let (server_conn, client_conn) = NetConnection::pair().expect("socketpair");
+    let (socket_log, socket_report) = soak_over(server_conn, client_conn, &cfg, &workload);
+
+    assert_eq!(
+        socket_log, direct_log,
+        "run-logs diverged across transports"
+    );
+    assert_eq!(socket_report, direct_report);
+    assert!(direct_report.admitted + direct_report.rejected <= direct_report.offered);
+}
+
+#[test]
+fn tcp_loopback_matches_direct_injection() {
+    let (cfg, workload) = setup(1.0, 150, 9);
+
+    let direct_driver = SessionDriver::new(
+        &cfg,
+        workload.template,
+        workload.slots,
+        DriverConfig::default(),
+    )
+    .expect("valid driver");
+    let (direct_log, _) = drive_direct(direct_driver, 1, &workload.sessions).expect("drives");
+
+    let listener =
+        Listener::bind(&EndpointAddr::Tcp("127.0.0.1:0".into())).expect("binds ephemeral port");
+    let addr = listener.local_addr().expect("has addr");
+    let accepter = thread::spawn(move || listener.accept().expect("accepts"));
+    let client_conn = connect_with_backoff(&addr, &ReconnectPolicy::default()).expect("connects");
+    let server_conn = accepter.join().expect("accept thread");
+
+    let (socket_log, _) = soak_over(server_conn, client_conn, &cfg, &workload);
+    assert_eq!(socket_log, direct_log);
+}
+
+#[test]
+fn unix_socket_loopback_matches_direct_injection() {
+    let (cfg, workload) = setup(1.0, 150, 13);
+
+    let direct_driver = SessionDriver::new(
+        &cfg,
+        workload.template,
+        workload.slots,
+        DriverConfig::default(),
+    )
+    .expect("valid driver");
+    let (direct_log, _) = drive_direct(direct_driver, 1, &workload.sessions).expect("drives");
+
+    let path = std::env::temp_dir().join(format!("dms-net-test-{}.sock", std::process::id()));
+    let addr = EndpointAddr::Unix(path.clone());
+    let listener = Listener::bind(&addr).expect("binds");
+    let accepter = thread::spawn(move || listener.accept().expect("accepts"));
+    let client_conn = connect_with_backoff(&addr, &ReconnectPolicy::default()).expect("connects");
+    let server_conn = accepter.join().expect("accept thread");
+
+    let (socket_log, _) = soak_over(server_conn, client_conn, &cfg, &workload);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(socket_log, direct_log);
+}
+
+#[test]
+fn heartbeats_and_data_frames_flow_when_enabled() {
+    let (cfg, workload) = setup(1.0, 100, 21);
+    let driver_cfg = DriverConfig {
+        heartbeat_every_slots: 10,
+        emit_data: true,
+    };
+    let mut driver =
+        SessionDriver::new(&cfg, workload.template, workload.slots, driver_cfg).expect("valid");
+    let (mut server_conn, mut client_conn) = NetConnection::pair().expect("socketpair");
+    let server = thread::spawn(move || {
+        serve_connection(&mut server_conn, &mut driver).expect("serves");
+        driver.into_run_log()
+    });
+    let report = run_loadgen(
+        &mut client_conn,
+        1,
+        workload.slots,
+        &workload.sessions,
+        None,
+    )
+    .expect("runs");
+    let log = server.join().expect("server thread");
+
+    // 100 slots / heartbeat every 10 → 10 beacons; one Data per slot.
+    assert_eq!(report.heartbeats, 10);
+    assert_eq!(report.data_frames, 100);
+    // Telemetry framing must not leak into the run-log.
+    let plain_driver = SessionDriver::new(
+        &cfg,
+        workload.template,
+        workload.slots,
+        DriverConfig::default(),
+    )
+    .expect("valid");
+    let (plain_log, _) = drive_direct(plain_driver, 1, &workload.sessions).expect("drives");
+    assert_eq!(log, plain_log);
+}

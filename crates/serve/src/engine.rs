@@ -1,0 +1,728 @@
+//! The incremental server engine: the one slotted loop behind every
+//! [`ServerSim`](crate::ServerSim) runner, exposed as a stepper.
+//!
+//! [`ServerEngine`] is the *offer-source seam*: synthetic workloads
+//! ([`ServerSim::run`](crate::ServerSim::run) pre-injects every
+//! [`SessionRequest`]) and socket-delivered offers (`dms-net`'s
+//! lockstep driver injects them as frames arrive) feed the exact same
+//! admission/multiplexing/recovery code path through
+//! [`ServerEngine::offer`] + [`ServerEngine::step_slot`]. A batch run
+//! is literally "inject everything, then step to the horizon", so the
+//! engine is bit-identical to the pre-seam `run_core` loop (pinned by
+//! the `ReferenceServerSim` differential proptests and the golden
+//! run-logs).
+//!
+//! The engine advances one slot per [`ServerEngine::step_slot`] call
+//! and never looks at a wall clock: whoever drives it (a `for` loop or
+//! a network driver pacing real time through `dms_sim::TickClock`)
+//! owns the mapping from ticks to slots. That inversion is what keeps
+//! socket-fed runs byte-deterministic — the simulation only ever sees
+//! the slot numbers stamped on the offers.
+
+use dms_sim::{EventQueue, FaultEvent, FaultPlan, ScheduledFault, SimTime};
+
+use crate::admission::{AdmissionController, AdmissionMemo};
+use crate::arena::SessionArena;
+use crate::degrade::LayerController;
+use crate::error::ServeError;
+use crate::faults::{FaultReport, RecoveryConfig};
+use crate::metrics::ServeMetricsSink;
+use crate::session::{ServerConfig, ServerReport};
+use crate::workload::{SessionRequest, SessionTemplate};
+
+/// Event payload of the server's slotted event loop.
+#[derive(Debug, Clone, Copy)]
+enum ServerEvent {
+    /// Index into the engine's offer ledger.
+    Arrive(usize),
+    /// Activation to deactivate, addressed by arena handle. The `act`
+    /// generation tag makes the departure O(1) *and* safe: a `Depart`
+    /// scheduled for a crashed activation must not kill whatever later
+    /// activation recycled the slot, so [`SessionArena::depart`]
+    /// matches on `act` before freeing.
+    Depart { handle: u32, act: u64 },
+    /// A crashed or timed-out session re-offering itself after backoff.
+    Retry {
+        /// Index into the engine's offer ledger.
+        idx: usize,
+        /// Retry attempts consumed before this one fires.
+        attempt: u32,
+        /// Service slots the session still wants.
+        remaining: u64,
+    },
+}
+
+/// One first-offer admission verdict, recorded when
+/// [`ServerEngine::record_verdicts`] is on: `(session id, admitted)`.
+pub type Verdict = (u64, bool);
+
+/// The incremental slotted server: offers in, verdicts and a
+/// [`FaultReport`] out, one slot per [`ServerEngine::step_slot`].
+///
+/// `faults: None` takes the exact nominal path (fault state pinned at
+/// "no fault", zero extra arithmetic on the served bits). The loop
+/// itself draws no randomness — all of it lives pre-compiled inside
+/// the [`FaultPlan`] — which is what keeps runs deterministic at any
+/// `DMS_THREADS` and lets socket-fed runs byte-match direct injection.
+#[derive(Debug)]
+pub struct ServerEngine {
+    template: SessionTemplate,
+    full_bits: u64,
+    buffer_bits: u64,
+    miss_bits: u64,
+    nominal_bits: u64,
+    slots: u64,
+    recovery: Option<RecoveryConfig>,
+
+    admission: AdmissionController,
+    degrade: Option<LayerController>,
+    memo: AdmissionMemo,
+    queue: EventQueue<ServerEvent>,
+    arena: SessionArena,
+
+    /// Every offer ever injected, in injection order. Events address
+    /// offers by index, so the ledger only grows.
+    sessions: Vec<SessionRequest>,
+
+    // Per-slot scratch hoisted out of the loop.
+    due: Vec<ServerEvent>,
+    grants: Vec<u64>,
+    sorted: Vec<u32>,
+    crash_buf: Vec<u32>,
+
+    // Fault state. The plan's events are walked with a cursor, not
+    // spliced into `queue`, so the arrival/departure FIFO order within
+    // a slot is untouched by fault injection.
+    fault_events: Vec<ScheduledFault>,
+    fault_cursor: usize,
+    link_factor: f64,
+    next_act: u64,
+    stall_streak: u64,
+
+    /// Next slot to step; slots `0..slot` are already simulated.
+    slot: u64,
+    report: FaultReport,
+    verdicts: Option<Vec<Verdict>>,
+}
+
+impl ServerEngine {
+    /// Builds a nominal (fault-free, no-recovery) engine for `slots`
+    /// slots of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template/config validation; fails if the config's
+    /// buffer/deadline thresholds overflow at this template's demand
+    /// ([`ServerConfig::validate_for`]).
+    pub fn new(
+        config: &ServerConfig,
+        template: SessionTemplate,
+        slots: u64,
+    ) -> Result<Self, ServeError> {
+        Self::with_faults(config, template, slots, None, None)
+    }
+
+    /// Builds an engine that applies `faults` while stepping and (with
+    /// `Some(recovery)`) retries crashed/timed-out sessions with
+    /// exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServerEngine::new`]; additionally propagates
+    /// [`RecoveryConfig::validate`] failures.
+    pub fn with_faults(
+        config: &ServerConfig,
+        template: SessionTemplate,
+        slots: u64,
+        faults: Option<&FaultPlan>,
+        recovery: Option<&RecoveryConfig>,
+    ) -> Result<Self, ServeError> {
+        template.validate()?;
+        if let Some(rec) = recovery {
+            rec.validate()?;
+        }
+        let full_bits = template.full_bits();
+        let (buffer_bits, miss_bits) = config.validate_for(full_bits)?;
+        let admission = AdmissionController::new(config.capacity, config.policy, full_bits)?;
+        let degrade = config.degrade.map(LayerController::new).transpose()?;
+        Ok(ServerEngine {
+            template,
+            full_bits,
+            buffer_bits,
+            miss_bits,
+            nominal_bits: config.capacity.link_bits_per_slot,
+            slots,
+            recovery: recovery.copied(),
+            admission,
+            degrade,
+            memo: AdmissionMemo::new(),
+            queue: EventQueue::with_capacity(1024),
+            arena: SessionArena::with_capacity(1024),
+            sessions: Vec::new(),
+            due: Vec::new(),
+            grants: Vec::new(),
+            sorted: Vec::new(),
+            crash_buf: Vec::new(),
+            fault_events: faults.map_or_else(Vec::new, |f| f.events().to_vec()),
+            fault_cursor: 0,
+            link_factor: 1.0,
+            next_act: 0,
+            stall_streak: 0,
+            slot: 0,
+            report: FaultReport::default(),
+            verdicts: None,
+        })
+    }
+
+    /// Pre-sizes the offer ledger (purely an allocation hint).
+    pub fn reserve(&mut self, additional: usize) {
+        self.sessions.reserve(additional);
+    }
+
+    /// Injects one offer. An offer stamped for a slot already stepped
+    /// arrives at the next unstepped slot — the socket driver's
+    /// "late frame lands now" rule; pre-injected workloads never hit
+    /// it. Offers within one slot keep injection order (FIFO), exactly
+    /// like `Workload` arrivals keep generation order.
+    pub fn offer(&mut self, request: SessionRequest) {
+        let idx = self.sessions.len();
+        let at = request.arrival_slot.max(self.slot);
+        self.sessions.push(request);
+        self.queue
+            .schedule(SimTime::from_ticks(at), ServerEvent::Arrive(idx));
+    }
+
+    /// Next slot [`ServerEngine::step_slot`] will simulate (slots
+    /// `0..slot()` are done).
+    #[must_use]
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// The simulation horizon in slots.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.slots
+    }
+
+    /// Offers injected so far.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.sessions.len() as u64
+    }
+
+    /// First offers admitted so far.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admission.admitted()
+    }
+
+    /// First offers rejected so far.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.admission.rejected()
+    }
+
+    /// Offers whose arrival slot has not been stepped yet — the
+    /// sessions a shutdown drains without a verdict. The driver's
+    /// conservation assertion is
+    /// `admitted + rejected + undecided == offered` at every step
+    /// boundary.
+    #[must_use]
+    pub fn undecided(&self) -> u64 {
+        self.offered() - self.admitted() - self.rejected()
+    }
+
+    /// Total bits delivered so far (for per-slot `Data` telemetry).
+    #[must_use]
+    pub fn delivered_bits(&self) -> u64 {
+        self.report.base.delivered_bits
+    }
+
+    /// Turns first-offer verdict recording on or off. While on, every
+    /// `Arrive` drained by [`ServerEngine::step_slot`] appends
+    /// `(id, admitted)` to the buffer drained by
+    /// [`ServerEngine::take_verdicts`]. Retries are re-admissions of
+    /// already-decided sessions and are deliberately not re-reported —
+    /// the wire ledger counts each session's first offer once, like
+    /// the `admitted + rejected == offered` report invariant.
+    pub fn record_verdicts(&mut self, on: bool) {
+        if on {
+            if self.verdicts.is_none() {
+                self.verdicts = Some(Vec::new());
+            }
+        } else {
+            self.verdicts = None;
+        }
+    }
+
+    /// Moves the verdicts recorded since the last call into `out`.
+    pub fn take_verdicts(&mut self, out: &mut Vec<Verdict>) {
+        if let Some(v) = self.verdicts.as_mut() {
+            out.append(v);
+        }
+    }
+
+    /// Simulates one slot; returns `false` (and does nothing) once the
+    /// horizon is reached. The body is the seed `run_core` slot loop,
+    /// verbatim modulo `self.` — auditable against
+    /// [`crate::ReferenceServerSim`].
+    #[allow(clippy::too_many_lines)] // one slot loop, kept linear for auditability
+    pub fn step_slot(&mut self, sink: Option<&mut ServeMetricsSink>) -> bool {
+        if self.slot >= self.slots {
+            return false;
+        }
+        let slot = self.slot;
+        let now = SimTime::from_ticks(slot);
+        let template = self.template;
+        let full_bits = self.full_bits;
+        let admitted_before = self.admission.admitted();
+        let misses_before = self.report.base.deadline_misses;
+        let utility_before = self.report.base.utility_sum;
+
+        // 1. Apply this slot's scheduled faults, in plan order.
+        //    Crashes strike the sessions active at the slot edge —
+        //    newest first, they hold the freshest reservations.
+        let mut stalled = false;
+        let mut corrupt_loss = 0.0f64;
+        while self.fault_cursor < self.fault_events.len()
+            && self.fault_events[self.fault_cursor].slot <= slot
+        {
+            match self.fault_events[self.fault_cursor].event {
+                FaultEvent::LinkRate { factor } => self.link_factor = factor,
+                FaultEvent::LinkRestore => self.link_factor = 1.0,
+                FaultEvent::SlotStall => stalled = true,
+                FaultEvent::Corrupt { loss } => corrupt_loss = loss,
+                FaultEvent::SessionCrash { fraction } => {
+                    let victims = ((self.arena.live() as f64 * fraction).ceil() as usize)
+                        .min(self.arena.live());
+                    self.arena.take_newest(victims, &mut self.crash_buf);
+                    for &h in &self.crash_buf {
+                        let hi = h as usize;
+                        self.report.crashed += 1;
+                        self.report.lost_to_fault_bits += self.arena.backlogs[hi];
+                        if let Some(rec) = self.recovery {
+                            let remaining = self.arena.depart_slots[hi].saturating_sub(slot);
+                            if self.arena.attempts[hi] < rec.max_retries && remaining > 0 {
+                                self.report.retries += 1;
+                                self.queue.schedule(
+                                    SimTime::from_ticks(slot.saturating_add(
+                                        rec.backoff_slots(self.arena.attempts[hi]),
+                                    )),
+                                    ServerEvent::Retry {
+                                        idx: self.arena.idxs[hi],
+                                        attempt: self.arena.attempts[hi],
+                                        remaining,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                // Component faults belong to population consumers
+                // (the E11 sensor census); the server has none.
+                FaultEvent::ComponentDown { .. } | FaultEvent::ComponentUp { .. } => {}
+            }
+            self.fault_cursor += 1;
+        }
+
+        // 2. Drain due arrivals / departures / retries (FIFO within
+        //    the slot; retries were scheduled after arrivals, so
+        //    fresh offers keep their admission priority).
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        due.extend(self.queue.drain_ready(now).map(|ev| ev.payload));
+        for &ev in &due {
+            match ev {
+                ServerEvent::Arrive(idx) => {
+                    let req = self.sessions[idx];
+                    let admitted = self
+                        .memo
+                        .decide(&mut self.admission, self.arena.live() as u64);
+                    if let Some(v) = self.verdicts.as_mut() {
+                        v.push((req.id, admitted));
+                    }
+                    if admitted {
+                        let act = self.next_act;
+                        self.next_act += 1;
+                        let depart_slot = slot + req.duration_slots;
+                        let handle = self.arena.insert(req.id, act, idx, depart_slot, 0);
+                        self.queue.schedule(
+                            SimTime::from_ticks(depart_slot),
+                            ServerEvent::Depart { handle, act },
+                        );
+                    }
+                }
+                ServerEvent::Depart { handle, act } => {
+                    self.arena.depart(handle, act);
+                }
+                ServerEvent::Retry {
+                    idx,
+                    attempt,
+                    remaining,
+                } => {
+                    // Re-admissions preview the predicate without
+                    // recording: the `admitted + rejected == offered`
+                    // ledger counts each session's first offer once.
+                    if self
+                        .memo
+                        .would_admit(&self.admission, self.arena.live() as u64)
+                    {
+                        self.report.readmitted += 1;
+                        let act = self.next_act;
+                        self.next_act += 1;
+                        let depart_slot = slot.saturating_add(remaining);
+                        let handle = self.arena.insert(
+                            self.sessions[idx].id,
+                            act,
+                            idx,
+                            depart_slot,
+                            attempt + 1,
+                        );
+                        self.queue.schedule(
+                            SimTime::from_ticks(depart_slot),
+                            ServerEvent::Depart { handle, act },
+                        );
+                    } else {
+                        self.report.retry_rejected += 1;
+                        if let Some(rec) = self.recovery {
+                            if attempt + 1 < rec.max_retries {
+                                self.report.retries += 1;
+                                self.queue.schedule(
+                                    SimTime::from_ticks(
+                                        slot.saturating_add(rec.backoff_slots(attempt + 1)),
+                                    ),
+                                    ServerEvent::Retry {
+                                        idx,
+                                        attempt: attempt + 1,
+                                        remaining,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.due = due;
+
+        let full_demand = self.arena.live() as u64 * full_bits;
+        self.report.base.predicted_occupancy += self
+            .memo
+            .predicted_occupancy(&self.admission, self.arena.live() as u64);
+
+        // 3. This slot's effective capacity under the fault state.
+        let capacity_now = if stalled {
+            self.report.stall_slots += 1;
+            0
+        } else if self.link_factor >= 1.0 {
+            self.nominal_bits
+        } else {
+            self.report.degraded_slots += 1;
+            (self.nominal_bits as f64 * self.link_factor).round() as u64
+        };
+
+        // One sweep pass: drop entries killed by this slot's
+        // departures from the order walk (returning their slots to
+        // the free list) and sum the carried backlog. After this,
+        // `arena.order` is exactly the live set in admission order.
+        let carried = self.arena.compact();
+        let layers = match self.degrade.as_mut() {
+            Some(ctl) => ctl.observe(full_demand, capacity_now, carried),
+            None => template.max_layers,
+        };
+        self.report.base.mean_layers += layers.min(template.max_layers) as f64;
+
+        let demand = template.demand_bits(layers);
+        let enqueued = demand * self.arena.live() as u64;
+        let mut backlog_after = 0u64;
+        let mut served = 0u64;
+        if self.arena.live() > 0 {
+            // Enqueue this slot's demand into each playout buffer,
+            // tracking the total so the uncontended shortcut below
+            // can skip the sort.
+            let mut total_backlog = 0u64;
+            for &h in &self.arena.order {
+                let b = &mut self.arena.backlogs[h as usize];
+                let want = *b + demand;
+                let capped = want.min(self.buffer_bits);
+                self.report.base.buffer_dropped_bits += want - capped;
+                *b = capped;
+                // Saturating: a saturated total can only exceed any
+                // real link capacity, which routes to the sorted
+                // (contended) path below.
+                total_backlog = total_backlog.saturating_add(capped);
+            }
+
+            self.grants.resize(self.arena.capacity(), 0);
+            if total_backlog <= capacity_now {
+                // Uncontended slot: max-min fair trivially grants
+                // every session its whole backlog, so the ascending
+                // sort below would change nothing. At the admission
+                // knee most slots land here, and skipping the
+                // O(n log n) sort is the arena engine's biggest
+                // per-slot win (bit-identical by construction — the
+                // water-fill loop yields grant = backlog whenever
+                // the link covers the total).
+                for &h in &self.arena.order {
+                    self.grants[h as usize] = self.arena.backlogs[h as usize];
+                }
+            } else {
+                // Max-min fair water-filling: ascending backlog,
+                // ties by id, so small sessions are satisfied first
+                // and the slack flows to the backlogged ones.
+                // Integer division truncation leaves at most `n`
+                // bits per slot unallocated. `(backlog, id)` is a
+                // total order (ids are unique among live sessions),
+                // so the unstable sort is deterministic.
+                self.sorted.clear();
+                self.sorted.extend_from_slice(&self.arena.order);
+                let arena = &self.arena;
+                self.sorted
+                    .sort_unstable_by_key(|&h| (arena.backlogs[h as usize], arena.ids[h as usize]));
+                let mut remaining = capacity_now;
+                let mut left = self.sorted.len() as u64;
+                for &h in &self.sorted {
+                    let share = remaining / left;
+                    let grant = arena.backlogs[h as usize].min(share);
+                    self.grants[h as usize] = grant;
+                    remaining -= grant;
+                    left -= 1;
+                }
+            }
+
+            self.report.base.session_slots += self.arena.live() as u64;
+            // Grants apply in admission order — the float
+            // accumulation order the reference implementation pins.
+            for &h in &self.arena.order {
+                let hi = h as usize;
+                let grant = self.grants[hi];
+                self.arena.backlogs[hi] -= grant;
+                served += grant;
+                // In a corruption-burst slot, a fraction of the
+                // transmitted bits is lost in flight: they leave the
+                // buffer (the sender cannot tell) but never arrive.
+                let corrupted = if corrupt_loss > 0.0 {
+                    ((grant as f64 * corrupt_loss).round() as u64).min(grant)
+                } else {
+                    0
+                };
+                self.report.base.delivered_bits += grant - corrupted;
+                self.report.lost_to_fault_bits += corrupted;
+                if self.arena.backlogs[hi] > self.miss_bits {
+                    // Too far behind the deadline: the client skips
+                    // ahead, stale bits are worthless.
+                    self.report.base.deadline_misses += 1;
+                    self.report.base.purged_bits += self.arena.backlogs[hi] - self.miss_bits;
+                    self.arena.backlogs[hi] = self.miss_bits;
+                    self.arena.misses[hi] += 1;
+                } else {
+                    self.arena.misses[hi] = 0;
+                    self.report.base.utility_sum +=
+                        template.utility((grant - corrupted).min(full_bits));
+                }
+                backlog_after += self.arena.backlogs[hi];
+            }
+
+            // 4. Playout-deadline timeout: a session that missed its
+            //    deadline for a full timeout window aborts (the
+            //    client gave up) and retries after backoff. A single
+            //    in-place sweep in admission order, O(n) for any
+            //    number of victims.
+            if let Some(rec) = self.recovery {
+                let mut w = 0usize;
+                for r in 0..self.arena.order.len() {
+                    let h = self.arena.order[r];
+                    let hi = h as usize;
+                    if self.arena.misses[hi] >= rec.timeout_miss_slots {
+                        self.report.timed_out += 1;
+                        backlog_after -= self.arena.backlogs[hi];
+                        self.report.lost_to_fault_bits += self.arena.backlogs[hi];
+                        let remaining = self.arena.depart_slots[hi].saturating_sub(slot + 1);
+                        if self.arena.attempts[hi] < rec.max_retries && remaining > 0 {
+                            self.report.retries += 1;
+                            self.queue.schedule(
+                                SimTime::from_ticks(
+                                    slot.saturating_add(rec.backoff_slots(self.arena.attempts[hi])),
+                                ),
+                                ServerEvent::Retry {
+                                    idx: self.arena.idxs[hi],
+                                    attempt: self.arena.attempts[hi],
+                                    remaining,
+                                },
+                            );
+                        }
+                        self.arena.release(h);
+                    } else {
+                        self.arena.order[w] = h;
+                        w += 1;
+                    }
+                }
+                self.arena.order.truncate(w);
+            }
+
+            self.report.base.measured_occupancy += backlog_after as f64 / full_bits as f64;
+        }
+
+        // 5. Stall detection + capacity re-estimation (recovery
+        //    only): when the link is not keeping up, admission
+        //    control re-plans against what was actually served; a
+        //    zero estimate fails closed until service resumes.
+        if let Some(rec) = self.recovery {
+            if full_demand > 0 && served == 0 {
+                self.stall_streak += 1;
+                if self.stall_streak == rec.stall_window_slots {
+                    self.report.stalls_detected += 1;
+                }
+            } else {
+                self.stall_streak = 0;
+            }
+            let estimate = if backlog_after > 0 {
+                served
+            } else {
+                self.nominal_bits
+            };
+            if estimate != self.admission.effective_capacity() {
+                self.admission.set_effective_capacity(estimate);
+                self.report.capacity_reestimates += 1;
+            }
+        }
+
+        if let Some(s) = sink {
+            s.record_slot(
+                self.admission.admitted() - admitted_before,
+                self.arena.live() as u64,
+                backlog_after,
+                layers.min(template.max_layers) as u64,
+                self.report.base.deadline_misses - misses_before,
+                self.report.base.utility_sum - utility_before,
+                enqueued,
+            );
+        }
+
+        self.slot += 1;
+        true
+    }
+
+    /// Steps every remaining slot to the horizon (the drain leg of a
+    /// graceful shutdown: admitted sessions play out, late offers get
+    /// their verdicts).
+    pub fn drain(&mut self, mut sink: Option<&mut ServeMetricsSink>) {
+        while self.step_slot(sink.as_deref_mut()) {}
+    }
+
+    /// Finalises the run and returns the report. Mean fields are
+    /// normalised over the slots actually stepped (a full run steps
+    /// exactly the horizon, matching the batch runners byte for byte).
+    #[must_use]
+    pub fn finish(mut self) -> FaultReport {
+        self.report.base = ServerReport {
+            offered: self.sessions.len() as u64,
+            admitted: self.admission.admitted(),
+            rejected: self.admission.rejected(),
+            slots: self.slot,
+            ..self.report.base
+        };
+        if self.report.base.slots > 0 {
+            self.report.base.predicted_occupancy /= self.report.base.slots as f64;
+            self.report.base.measured_occupancy /= self.report.base.slots as f64;
+            self.report.base.mean_layers /= self.report.base.slots as f64;
+        }
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionPolicy;
+    use crate::session::ServerSim;
+    use crate::workload::{rate_for_load, ArrivalProcess, Workload};
+    use crate::CapacityModel;
+
+    fn setup(load: f64, slots: u64, seed: u64) -> (ServerConfig, Workload) {
+        let template = SessionTemplate::streaming_default().expect("preset valid");
+        let cfg = ServerConfig {
+            capacity: CapacityModel {
+                link_bits_per_slot: 20 * template.full_bits(),
+                queue_frames: 64,
+                occupancy_bound: 8.0,
+            },
+            policy: AdmissionPolicy::QueuePredictor,
+            degrade: Some(crate::DegradeConfig::default()),
+            buffer_slots: 4,
+            miss_slots: 2,
+        };
+        let rate = rate_for_load(load, &template, cfg.capacity.link_bits_per_slot);
+        let workload = Workload::generate(ArrivalProcess::Poisson { rate }, template, slots, seed)
+            .expect("valid");
+        (cfg, workload)
+    }
+
+    /// The seam contract: injecting offers incrementally — interleaved
+    /// with stepping, exactly as the socket driver does — must be
+    /// bit-identical to the batch runner's inject-everything-up-front.
+    #[test]
+    fn incremental_injection_matches_batch_run() {
+        let (cfg, workload) = setup(1.2, 400, 21);
+        let batch = ServerSim::new(cfg)
+            .expect("valid")
+            .run(&workload)
+            .expect("runs");
+
+        let mut engine = ServerEngine::new(&cfg, workload.template, workload.slots).expect("valid");
+        // Feed each offer only once the engine has stepped up to (but
+        // not past) its arrival slot — the lockstep driver's schedule.
+        for req in &workload.sessions {
+            while engine.slot() < req.arrival_slot {
+                assert!(engine.step_slot(None));
+            }
+            engine.offer(*req);
+        }
+        engine.drain(None);
+        let incremental = engine.finish();
+        assert_eq!(incremental.base, batch, "seam must not perturb the run");
+    }
+
+    #[test]
+    fn verdicts_ledger_matches_report() {
+        let (cfg, workload) = setup(1.3, 300, 9);
+        let mut engine = ServerEngine::new(&cfg, workload.template, workload.slots).expect("valid");
+        engine.record_verdicts(true);
+        for req in &workload.sessions {
+            engine.offer(*req);
+        }
+        let mut verdicts = Vec::new();
+        while engine.step_slot(None) {
+            engine.take_verdicts(&mut verdicts);
+        }
+        assert_eq!(engine.undecided(), 0, "horizon drains every offer");
+        let admitted = verdicts.iter().filter(|(_, ok)| *ok).count() as u64;
+        let rejected = verdicts.len() as u64 - admitted;
+        let report = engine.finish();
+        assert_eq!(verdicts.len() as u64, report.base.offered);
+        assert_eq!(admitted, report.base.admitted);
+        assert_eq!(rejected, report.base.rejected);
+    }
+
+    /// A late offer (slot already stepped) is not lost: it arrives at
+    /// the next unstepped slot.
+    #[test]
+    fn late_offer_lands_on_the_next_slot() {
+        let (cfg, workload) = setup(0.5, 100, 3);
+        let mut engine = ServerEngine::new(&cfg, workload.template, workload.slots).expect("valid");
+        for _ in 0..10 {
+            engine.step_slot(None);
+        }
+        engine.offer(crate::SessionRequest {
+            id: 1,
+            arrival_slot: 4, // stale stamp: slots 0..10 already ran
+            duration_slots: 5,
+        });
+        engine.record_verdicts(true);
+        let mut verdicts = Vec::new();
+        engine.step_slot(None);
+        engine.take_verdicts(&mut verdicts);
+        assert_eq!(verdicts, vec![(1, true)], "late offer decided at slot 10");
+    }
+}

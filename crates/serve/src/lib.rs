@@ -65,6 +65,7 @@
 pub mod admission;
 pub(crate) mod arena;
 pub mod degrade;
+pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod metrics;
@@ -74,6 +75,7 @@ pub mod workload;
 
 pub use admission::{AdmissionController, AdmissionMemo, AdmissionPolicy, CapacityModel};
 pub use degrade::{DegradeConfig, LayerController};
+pub use engine::ServerEngine;
 pub use error::ServeError;
 pub use faults::{corruption_burst, FaultReport, RecoveryConfig};
 pub use metrics::ServeMetricsSink;

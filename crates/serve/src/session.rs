@@ -4,11 +4,14 @@
 //! [`ServerSim`] runs an open-loop [`Workload`] through
 //! a slotted server: every slot it drains due arrival/departure events
 //! from a [`dms_sim::EventQueue`] (FIFO within the slot, via
-//! [`EventQueue::drain_ready`]), asks the
-//! [`AdmissionController`] about each
-//! arrival, lets the [`LayerController`] pick
+//! [`dms_sim::EventQueue::drain_ready`]), asks the
+//! [`crate::AdmissionController`] about each
+//! arrival, lets the [`crate::LayerController`] pick
 //! the slot's FGS layer cap, and then divides the link capacity over
 //! the active sessions with a max-min fair water-filling allocation.
+//! Since PR 7 the loop itself lives in the incremental
+//! [`ServerEngine`]; this runner injects the whole workload up front
+//! and steps the engine to the horizon.
 //!
 //! A session that falls further than the deadline allowance behind is
 //! charged a *deadline miss* for the slot (utility zero, stale bits
@@ -18,12 +21,12 @@
 //! [`dms_sim::ParRunner`] and still diff byte-for-byte against a
 //! single-threaded run.
 
-use dms_sim::{EventQueue, FaultEvent, FaultPlan, SimTime};
+use dms_sim::FaultPlan;
 use serde::{Deserialize, Serialize};
 
-use crate::admission::{AdmissionController, AdmissionMemo, AdmissionPolicy, CapacityModel};
-use crate::arena::SessionArena;
-use crate::degrade::{DegradeConfig, LayerController};
+use crate::admission::{AdmissionPolicy, CapacityModel};
+use crate::degrade::DegradeConfig;
+use crate::engine::ServerEngine;
 use crate::error::ServeError;
 use crate::faults::{FaultReport, RecoveryConfig};
 use crate::metrics::ServeMetricsSink;
@@ -155,28 +158,6 @@ impl ServerReport {
     }
 }
 
-/// Event payload of the server's slotted event loop.
-#[derive(Debug, Clone, Copy)]
-enum ServerEvent {
-    /// Index into `workload.sessions`.
-    Arrive(usize),
-    /// Activation to deactivate, addressed by arena handle. The `act`
-    /// generation tag makes the departure O(1) *and* safe: a `Depart`
-    /// scheduled for a crashed activation must not kill whatever later
-    /// activation recycled the slot, so [`SessionArena::depart`]
-    /// matches on `act` before freeing.
-    Depart { handle: u32, act: u64 },
-    /// A crashed or timed-out session re-offering itself after backoff.
-    Retry {
-        /// Index into `workload.sessions`.
-        idx: usize,
-        /// Retry attempts consumed before this one fires.
-        attempt: u32,
-        /// Service slots the session still wants.
-        remaining: u64,
-    },
-}
-
 /// The slotted multi-session server simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerSim {
@@ -271,25 +252,15 @@ impl ServerSim {
         Ok(self.run_core(workload, None, None, sink)?.base)
     }
 
-    /// The one slotted server loop every public runner delegates to.
-    ///
-    /// `faults: None` takes the exact nominal path (fault state pinned
-    /// at "no fault", zero extra arithmetic on the served bits), so
-    /// [`ServerSim::run`] results are bit-identical to the pre-fault
-    /// implementation. The loop itself draws no randomness — all of it
-    /// lives pre-compiled inside the [`FaultPlan`] — which is what
-    /// keeps faulted runs deterministic at any `DMS_THREADS`.
-    ///
-    /// The active set lives in a [`SessionArena`] (struct-of-arrays,
-    /// generational handles): departures are O(1) frees, the per-slot
-    /// multiplexer pass streams dense arrays, and admission decisions
-    /// are memoised per session count ([`AdmissionMemo`]). Every
-    /// iteration walks the arena's insertion-ordered handle list, so
-    /// the float accumulation order — and therefore every report byte —
-    /// matches the seed implementation retained as
-    /// [`crate::ReferenceServerSim`] (pinned by differential
-    /// proptests).
-    #[allow(clippy::too_many_lines)] // one slot loop, kept linear for auditability
+    /// The one slotted server loop every public runner delegates to —
+    /// now a thin batch driver over the incremental
+    /// [`ServerEngine`]: inject every workload offer up front, step to
+    /// the horizon, finish. The engine is the offer-source seam shared
+    /// with `dms-net`'s socket driver, so synthetic and socket offers
+    /// run the same admission/multiplexing/recovery code path; its
+    /// slot loop is the seed implementation verbatim (pinned against
+    /// [`crate::ReferenceServerSim`] by differential proptests and the
+    /// golden run-logs).
     fn run_core(
         &self,
         workload: &Workload,
@@ -297,373 +268,19 @@ impl ServerSim {
         recovery: Option<&RecoveryConfig>,
         mut sink: Option<&mut ServeMetricsSink>,
     ) -> Result<FaultReport, ServeError> {
-        let template = workload.template;
-        template.validate()?;
-        let cfg = &self.config;
-        let full_bits = template.full_bits();
-        let (buffer_bits, miss_bits) = cfg.validate_for(full_bits)?;
-        let nominal_bits = cfg.capacity.link_bits_per_slot;
-
-        let mut admission = AdmissionController::new(cfg.capacity, cfg.policy, full_bits)?;
-        let mut degrade = cfg.degrade.map(LayerController::new).transpose()?;
-
-        let mut queue = EventQueue::with_capacity(workload.sessions.len() * 2);
-        for (idx, s) in workload.sessions.iter().enumerate() {
-            queue.schedule(
-                SimTime::from_ticks(s.arrival_slot),
-                ServerEvent::Arrive(idx),
-            );
+        let mut engine = ServerEngine::with_faults(
+            &self.config,
+            workload.template,
+            workload.slots,
+            faults,
+            recovery,
+        )?;
+        engine.reserve(workload.sessions.len());
+        for &req in &workload.sessions {
+            engine.offer(req);
         }
-
-        // All per-slot scratch hoisted out of the loop: the arena plus
-        // handle-indexed buffers reused across every slot.
-        let mut arena = SessionArena::with_capacity(workload.sessions.len().min(4096));
-        let mut memo = AdmissionMemo::new();
-        let mut due: Vec<ServerEvent> = Vec::new();
-        let mut grants: Vec<u64> = Vec::new();
-        let mut sorted: Vec<u32> = Vec::new();
-        let mut crash_buf: Vec<u32> = Vec::new();
-        let mut report = FaultReport {
-            base: ServerReport {
-                offered: workload.sessions.len() as u64,
-                slots: workload.slots,
-                ..ServerReport::default()
-            },
-            ..FaultReport::default()
-        };
-
-        // Fault state. The plan's events are walked with a cursor, not
-        // spliced into `queue`, so the arrival/departure FIFO order
-        // within a slot is untouched by fault injection.
-        let fault_events = faults.map_or(&[][..], FaultPlan::events);
-        let mut fault_cursor = 0usize;
-        let mut link_factor = 1.0f64;
-        let mut next_act = 0u64;
-        let mut stall_streak = 0u64;
-
-        for slot in 0..workload.slots {
-            let now = SimTime::from_ticks(slot);
-            let admitted_before = admission.admitted();
-            let misses_before = report.base.deadline_misses;
-            let utility_before = report.base.utility_sum;
-
-            // 1. Apply this slot's scheduled faults, in plan order.
-            //    Crashes strike the sessions active at the slot edge —
-            //    newest first, they hold the freshest reservations.
-            let mut stalled = false;
-            let mut corrupt_loss = 0.0f64;
-            while fault_cursor < fault_events.len() && fault_events[fault_cursor].slot <= slot {
-                match fault_events[fault_cursor].event {
-                    FaultEvent::LinkRate { factor } => link_factor = factor,
-                    FaultEvent::LinkRestore => link_factor = 1.0,
-                    FaultEvent::SlotStall => stalled = true,
-                    FaultEvent::Corrupt { loss } => corrupt_loss = loss,
-                    FaultEvent::SessionCrash { fraction } => {
-                        let victims =
-                            ((arena.live() as f64 * fraction).ceil() as usize).min(arena.live());
-                        arena.take_newest(victims, &mut crash_buf);
-                        for &h in &crash_buf {
-                            let hi = h as usize;
-                            report.crashed += 1;
-                            report.lost_to_fault_bits += arena.backlogs[hi];
-                            if let Some(rec) = recovery {
-                                let remaining = arena.depart_slots[hi].saturating_sub(slot);
-                                if arena.attempts[hi] < rec.max_retries && remaining > 0 {
-                                    report.retries += 1;
-                                    queue.schedule(
-                                        SimTime::from_ticks(
-                                            slot.saturating_add(
-                                                rec.backoff_slots(arena.attempts[hi]),
-                                            ),
-                                        ),
-                                        ServerEvent::Retry {
-                                            idx: arena.idxs[hi],
-                                            attempt: arena.attempts[hi],
-                                            remaining,
-                                        },
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    // Component faults belong to population consumers
-                    // (the E11 sensor census); the server has none.
-                    FaultEvent::ComponentDown { .. } | FaultEvent::ComponentUp { .. } => {}
-                }
-                fault_cursor += 1;
-            }
-
-            // 2. Drain due arrivals / departures / retries (FIFO within
-            //    the slot; retries were scheduled after arrivals, so
-            //    fresh offers keep their admission priority).
-            due.clear();
-            due.extend(queue.drain_ready(now).map(|ev| ev.payload));
-            for &ev in &due {
-                match ev {
-                    ServerEvent::Arrive(idx) => {
-                        let req = workload.sessions[idx];
-                        if memo.decide(&mut admission, arena.live() as u64) {
-                            let act = next_act;
-                            next_act += 1;
-                            let depart_slot = slot + req.duration_slots;
-                            let handle = arena.insert(req.id, act, idx, depart_slot, 0);
-                            queue.schedule(
-                                SimTime::from_ticks(depart_slot),
-                                ServerEvent::Depart { handle, act },
-                            );
-                        }
-                    }
-                    ServerEvent::Depart { handle, act } => {
-                        arena.depart(handle, act);
-                    }
-                    ServerEvent::Retry {
-                        idx,
-                        attempt,
-                        remaining,
-                    } => {
-                        // Re-admissions preview the predicate without
-                        // recording: the `admitted + rejected == offered`
-                        // ledger counts each session's first offer once.
-                        if memo.would_admit(&admission, arena.live() as u64) {
-                            report.readmitted += 1;
-                            let act = next_act;
-                            next_act += 1;
-                            let depart_slot = slot.saturating_add(remaining);
-                            let handle = arena.insert(
-                                workload.sessions[idx].id,
-                                act,
-                                idx,
-                                depart_slot,
-                                attempt + 1,
-                            );
-                            queue.schedule(
-                                SimTime::from_ticks(depart_slot),
-                                ServerEvent::Depart { handle, act },
-                            );
-                        } else {
-                            report.retry_rejected += 1;
-                            if let Some(rec) = recovery {
-                                if attempt + 1 < rec.max_retries {
-                                    report.retries += 1;
-                                    queue.schedule(
-                                        SimTime::from_ticks(
-                                            slot.saturating_add(rec.backoff_slots(attempt + 1)),
-                                        ),
-                                        ServerEvent::Retry {
-                                            idx,
-                                            attempt: attempt + 1,
-                                            remaining,
-                                        },
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-
-            let full_demand = arena.live() as u64 * full_bits;
-            report.base.predicted_occupancy +=
-                memo.predicted_occupancy(&admission, arena.live() as u64);
-
-            // 3. This slot's effective capacity under the fault state.
-            let capacity_now = if stalled {
-                report.stall_slots += 1;
-                0
-            } else if link_factor >= 1.0 {
-                nominal_bits
-            } else {
-                report.degraded_slots += 1;
-                (nominal_bits as f64 * link_factor).round() as u64
-            };
-
-            // One sweep pass: drop entries killed by this slot's
-            // departures from the order walk (returning their slots to
-            // the free list) and sum the carried backlog. After this,
-            // `arena.order` is exactly the live set in admission order.
-            let carried = arena.compact();
-            let layers = match degrade.as_mut() {
-                Some(ctl) => ctl.observe(full_demand, capacity_now, carried),
-                None => template.max_layers,
-            };
-            report.base.mean_layers += layers.min(template.max_layers) as f64;
-
-            let demand = template.demand_bits(layers);
-            let enqueued = demand * arena.live() as u64;
-            let mut backlog_after = 0u64;
-            let mut served = 0u64;
-            if arena.live() > 0 {
-                // Enqueue this slot's demand into each playout buffer,
-                // tracking the total so the uncontended shortcut below
-                // can skip the sort.
-                let mut total_backlog = 0u64;
-                for &h in &arena.order {
-                    let b = &mut arena.backlogs[h as usize];
-                    let want = *b + demand;
-                    let capped = want.min(buffer_bits);
-                    report.base.buffer_dropped_bits += want - capped;
-                    *b = capped;
-                    // Saturating: a saturated total can only exceed any
-                    // real link capacity, which routes to the sorted
-                    // (contended) path below.
-                    total_backlog = total_backlog.saturating_add(capped);
-                }
-
-                grants.resize(arena.capacity(), 0);
-                if total_backlog <= capacity_now {
-                    // Uncontended slot: max-min fair trivially grants
-                    // every session its whole backlog, so the ascending
-                    // sort below would change nothing. At the admission
-                    // knee most slots land here, and skipping the
-                    // O(n log n) sort is the arena engine's biggest
-                    // per-slot win (bit-identical by construction — the
-                    // water-fill loop yields grant = backlog whenever
-                    // the link covers the total).
-                    for &h in &arena.order {
-                        grants[h as usize] = arena.backlogs[h as usize];
-                    }
-                } else {
-                    // Max-min fair water-filling: ascending backlog,
-                    // ties by id, so small sessions are satisfied first
-                    // and the slack flows to the backlogged ones.
-                    // Integer division truncation leaves at most `n`
-                    // bits per slot unallocated. `(backlog, id)` is a
-                    // total order (ids are unique among live sessions),
-                    // so the unstable sort is deterministic.
-                    sorted.clear();
-                    sorted.extend_from_slice(&arena.order);
-                    sorted.sort_unstable_by_key(|&h| {
-                        (arena.backlogs[h as usize], arena.ids[h as usize])
-                    });
-                    let mut remaining = capacity_now;
-                    let mut left = sorted.len() as u64;
-                    for &h in &sorted {
-                        let share = remaining / left;
-                        let grant = arena.backlogs[h as usize].min(share);
-                        grants[h as usize] = grant;
-                        remaining -= grant;
-                        left -= 1;
-                    }
-                }
-
-                report.base.session_slots += arena.live() as u64;
-                // Grants apply in admission order — the float
-                // accumulation order the reference implementation pins.
-                for &h in &arena.order {
-                    let hi = h as usize;
-                    let grant = grants[hi];
-                    arena.backlogs[hi] -= grant;
-                    served += grant;
-                    // In a corruption-burst slot, a fraction of the
-                    // transmitted bits is lost in flight: they leave the
-                    // buffer (the sender cannot tell) but never arrive.
-                    let corrupted = if corrupt_loss > 0.0 {
-                        ((grant as f64 * corrupt_loss).round() as u64).min(grant)
-                    } else {
-                        0
-                    };
-                    report.base.delivered_bits += grant - corrupted;
-                    report.lost_to_fault_bits += corrupted;
-                    if arena.backlogs[hi] > miss_bits {
-                        // Too far behind the deadline: the client skips
-                        // ahead, stale bits are worthless.
-                        report.base.deadline_misses += 1;
-                        report.base.purged_bits += arena.backlogs[hi] - miss_bits;
-                        arena.backlogs[hi] = miss_bits;
-                        arena.misses[hi] += 1;
-                    } else {
-                        arena.misses[hi] = 0;
-                        report.base.utility_sum +=
-                            template.utility((grant - corrupted).min(full_bits));
-                    }
-                    backlog_after += arena.backlogs[hi];
-                }
-
-                // 4. Playout-deadline timeout: a session that missed its
-                //    deadline for a full timeout window aborts (the
-                //    client gave up) and retries after backoff. A single
-                //    in-place sweep in admission order, O(n) for any
-                //    number of victims.
-                if let Some(rec) = recovery {
-                    let mut w = 0usize;
-                    for r in 0..arena.order.len() {
-                        let h = arena.order[r];
-                        let hi = h as usize;
-                        if arena.misses[hi] >= rec.timeout_miss_slots {
-                            report.timed_out += 1;
-                            backlog_after -= arena.backlogs[hi];
-                            report.lost_to_fault_bits += arena.backlogs[hi];
-                            let remaining = arena.depart_slots[hi].saturating_sub(slot + 1);
-                            if arena.attempts[hi] < rec.max_retries && remaining > 0 {
-                                report.retries += 1;
-                                queue.schedule(
-                                    SimTime::from_ticks(
-                                        slot.saturating_add(rec.backoff_slots(arena.attempts[hi])),
-                                    ),
-                                    ServerEvent::Retry {
-                                        idx: arena.idxs[hi],
-                                        attempt: arena.attempts[hi],
-                                        remaining,
-                                    },
-                                );
-                            }
-                            arena.release(h);
-                        } else {
-                            arena.order[w] = h;
-                            w += 1;
-                        }
-                    }
-                    arena.order.truncate(w);
-                }
-
-                report.base.measured_occupancy += backlog_after as f64 / full_bits as f64;
-            }
-
-            // 5. Stall detection + capacity re-estimation (recovery
-            //    only): when the link is not keeping up, admission
-            //    control re-plans against what was actually served; a
-            //    zero estimate fails closed until service resumes.
-            if let Some(rec) = recovery {
-                if full_demand > 0 && served == 0 {
-                    stall_streak += 1;
-                    if stall_streak == rec.stall_window_slots {
-                        report.stalls_detected += 1;
-                    }
-                } else {
-                    stall_streak = 0;
-                }
-                let estimate = if backlog_after > 0 {
-                    served
-                } else {
-                    nominal_bits
-                };
-                if estimate != admission.effective_capacity() {
-                    admission.set_effective_capacity(estimate);
-                    report.capacity_reestimates += 1;
-                }
-            }
-
-            if let Some(s) = sink.as_deref_mut() {
-                s.record_slot(
-                    admission.admitted() - admitted_before,
-                    arena.live() as u64,
-                    backlog_after,
-                    layers.min(template.max_layers) as u64,
-                    report.base.deadline_misses - misses_before,
-                    report.base.utility_sum - utility_before,
-                    enqueued,
-                );
-            }
-        }
-
-        report.base.admitted = admission.admitted();
-        report.base.rejected = admission.rejected();
-        if report.base.slots > 0 {
-            report.base.predicted_occupancy /= report.base.slots as f64;
-            report.base.measured_occupancy /= report.base.slots as f64;
-            report.base.mean_layers /= report.base.slots as f64;
-        }
-        Ok(report)
+        while engine.step_slot(sink.as_deref_mut()) {}
+        Ok(engine.finish())
     }
 }
 

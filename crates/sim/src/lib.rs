@@ -62,5 +62,5 @@ pub use metrics::{JsonValue, Metric, MetricsRegistry, RunLog, RunRecord, ScopedM
 pub use par::ParRunner;
 pub use rng::SimRng;
 pub use stats::{Autocorrelation, ConfidenceInterval, Histogram, OnlineStats, TimeWeighted};
-pub use time::SimTime;
+pub use time::{SimTime, TickClock};
 pub use trace::{Trace, TraceSample};

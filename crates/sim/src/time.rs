@@ -120,6 +120,75 @@ impl From<SimTime> for u64 {
     }
 }
 
+/// Maps wall-clock time onto the simulation's slot axis — the
+/// tick↔slot contract `dms-net`'s real-time pacing mode is built on.
+///
+/// A `TickClock` anchors slot 0 at its creation instant; slot `n`
+/// begins exactly `n * slot_duration` later. The arithmetic lives in
+/// [`TickClock::slots_elapsed`], a pure function of two durations, so
+/// the mapping is unit-testable without sleeping. Note the simulation
+/// core never consults a clock: drivers stamp offers with slot numbers
+/// and the engine replays the stamps, which is what keeps socket-fed
+/// runs byte-deterministic (the clock only *paces*, it never decides).
+#[derive(Debug, Clone, Copy)]
+pub struct TickClock {
+    start: std::time::Instant,
+    slot: std::time::Duration,
+}
+
+impl TickClock {
+    /// Starts a clock whose slot 0 begins now. A zero `slot_duration`
+    /// is clamped to 1 ns so the mapping stays monotone.
+    #[must_use]
+    pub fn new(slot_duration: std::time::Duration) -> Self {
+        TickClock {
+            start: std::time::Instant::now(),
+            slot: slot_duration.max(std::time::Duration::from_nanos(1)),
+        }
+    }
+
+    /// The configured slot duration.
+    #[must_use]
+    pub fn slot_duration(&self) -> std::time::Duration {
+        self.slot
+    }
+
+    /// Slots fully elapsed after `elapsed` wall time — the pure core
+    /// of the mapping: `floor(elapsed / slot)`, saturating at
+    /// `u64::MAX`.
+    #[must_use]
+    pub fn slots_elapsed(elapsed: std::time::Duration, slot: std::time::Duration) -> u64 {
+        let slot = slot.max(std::time::Duration::from_nanos(1));
+        let ratio = elapsed.as_nanos() / slot.as_nanos();
+        u64::try_from(ratio).unwrap_or(u64::MAX)
+    }
+
+    /// The slot the wall clock is currently inside.
+    #[must_use]
+    pub fn now_slot(&self) -> u64 {
+        Self::slots_elapsed(self.start.elapsed(), self.slot)
+    }
+
+    /// The instant slot `slot` begins.
+    #[must_use]
+    pub fn deadline_for(&self, slot: u64) -> std::time::Instant {
+        self.start
+            + self
+                .slot
+                .saturating_mul(u32::try_from(slot.min(u64::from(u32::MAX))).unwrap_or(u32::MAX))
+    }
+
+    /// Sleeps until slot `slot` begins (returns immediately if the
+    /// clock is already past it).
+    pub fn sleep_until_slot(&self, slot: u64) {
+        let deadline = self.deadline_for(slot);
+        let now = std::time::Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +238,28 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert_eq!(SimTime::from_ticks(42).to_string(), "t=42");
+    }
+
+    #[test]
+    fn tick_clock_slot_mapping_is_pure_floor_division() {
+        use std::time::Duration;
+        let slot = Duration::from_millis(10);
+        assert_eq!(TickClock::slots_elapsed(Duration::ZERO, slot), 0);
+        assert_eq!(TickClock::slots_elapsed(Duration::from_millis(9), slot), 0);
+        assert_eq!(TickClock::slots_elapsed(Duration::from_millis(10), slot), 1);
+        assert_eq!(TickClock::slots_elapsed(Duration::from_millis(25), slot), 2);
+        // Degenerate slot durations clamp instead of dividing by zero.
+        assert_eq!(
+            TickClock::slots_elapsed(Duration::from_nanos(7), Duration::ZERO),
+            7
+        );
+    }
+
+    #[test]
+    fn tick_clock_deadlines_are_monotone() {
+        let clock = TickClock::new(std::time::Duration::from_millis(1));
+        assert!(clock.deadline_for(1) < clock.deadline_for(2));
+        assert!(clock.now_slot() < u64::MAX);
+        clock.sleep_until_slot(0); // already past: returns immediately
     }
 }
