@@ -23,6 +23,13 @@
 //! an engine that drops back to seed-era per-session cost fails even
 //! if the committed baseline regressed with it.
 //!
+//! `--max-rss-mib X` holds the complementary *memory* ceiling: every
+//! `peak_rss_bytes` sample of the fresh file — the `e15_mega_scale`
+//! points and the bounded-sink `e15_instrumented` point — must stay
+//! at or below `X` MiB. VmHWM is process-monotone, so the largest run
+//! bounds them all; the ceiling is what makes "observability survives
+//! a million sessions" an enforced claim rather than a comment.
+//!
 //! Exits 0 when every experiment is inside the envelope, 1 on any
 //! regression, 2 on malformed input.
 
@@ -35,7 +42,8 @@ const NOISE_FLOOR_SECONDS: f64 = 0.05;
 
 fn fail_usage() -> ! {
     eprintln!(
-        "usage: bench_guard <baseline.json> <new.json> [--factor 2.0] [--min-throughput 30000]"
+        "usage: bench_guard <baseline.json> <new.json> [--factor 2.0] \
+         [--min-throughput 30000] [--max-rss-mib 1024]"
     );
     std::process::exit(2);
 }
@@ -63,6 +71,43 @@ fn e15_throughputs(root: &JsonValue, path: &str) -> Vec<(String, f64)> {
             }
         }
     }
+    out
+}
+
+/// Extracts every `{point -> peak_rss_bytes}` sample of a
+/// `BENCH_experiments.json` tree: the `e15_mega_scale` points plus the
+/// bounded-sink `e15_instrumented` point. Missing sections are a hard
+/// error when a ceiling was requested — silently skipping would turn
+/// the ceiling off.
+fn peak_rss_samples(root: &JsonValue, path: &str) -> Vec<(String, f64)> {
+    let Some(points) = root.get("e15_mega_scale").and_then(JsonValue::as_array) else {
+        eprintln!("{path}: no `e15_mega_scale` array (needed for --max-rss-mib)");
+        std::process::exit(2);
+    };
+    let mut out = Vec::new();
+    let mut push = |label: Option<&str>, rss: Option<f64>| match (label, rss) {
+        (Some(label), Some(rss)) => out.push((label.to_string(), rss)),
+        _ => {
+            eprintln!("{path}: entry without point/peak_rss_bytes");
+            std::process::exit(2);
+        }
+    };
+    for entry in points {
+        push(
+            entry.get("point").and_then(JsonValue::as_str),
+            entry.get("peak_rss_bytes").and_then(JsonValue::as_f64),
+        );
+    }
+    let Some(instrumented) = root.get("e15_instrumented") else {
+        eprintln!("{path}: no `e15_instrumented` section (needed for --max-rss-mib)");
+        std::process::exit(2);
+    };
+    push(
+        Some("instrumented"),
+        instrumented
+            .get("peak_rss_bytes")
+            .and_then(JsonValue::as_f64),
+    );
     out
 }
 
@@ -102,6 +147,7 @@ fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut factor = 2.0f64;
     let mut min_throughput: Option<f64> = None;
+    let mut max_rss_mib: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--factor" {
@@ -111,6 +157,13 @@ fn main() {
                 .unwrap_or_else(|| fail_usage());
         } else if arg == "--min-throughput" {
             min_throughput = Some(
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| fail_usage()),
+            );
+        } else if arg == "--max-rss-mib" {
+            max_rss_mib = Some(
                 args.next()
                     .and_then(|v| v.parse().ok())
                     .filter(|v: &f64| v.is_finite() && *v > 0.0)
@@ -174,7 +227,22 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if regressions > 0 || floor_failures > 0 {
+    let mut ceiling_failures = 0u32;
+    if let Some(ceiling_mib) = max_rss_mib {
+        for (label, rss_bytes) in peak_rss_samples(&fresh_root, &paths[1]) {
+            let rss_mib = rss_bytes / (1024.0 * 1024.0);
+            let verdict = if rss_mib > ceiling_mib {
+                ceiling_failures += 1;
+                "OVER CEILING"
+            } else {
+                "ok"
+            };
+            println!(
+                "{label:>14}  rss {rss_mib:8.1} MiB  ceiling {ceiling_mib:8.1} MiB  {verdict}"
+            );
+        }
+    }
+    if regressions > 0 || floor_failures > 0 || ceiling_failures > 0 {
         if regressions > 0 {
             eprintln!(
                 "bench_guard: {regressions} of {compared} experiments exceed {factor}x baseline"
@@ -182,6 +250,9 @@ fn main() {
         }
         if floor_failures > 0 {
             eprintln!("bench_guard: {floor_failures} E15 server points below the throughput floor");
+        }
+        if ceiling_failures > 0 {
+            eprintln!("bench_guard: {ceiling_failures} E15 points above the peak-RSS ceiling");
         }
         std::process::exit(1);
     }

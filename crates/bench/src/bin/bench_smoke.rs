@@ -209,6 +209,56 @@ fn main() {
     let e15_speedup_100k = e15_secs("reference-100k") / e15_secs("server-100k").max(1e-9);
     println!("  arena vs reference at 10^5 sessions: {e15_speedup_100k:.1}x");
 
+    // The instrumented 10^6 point: the same run with a bounded metrics
+    // sink attached and the aggregates streamed through a chunked
+    // RunLogWriter. This is the observability tentpole's proof
+    // obligation — constant-memory instrumentation at full scale, with
+    // the overhead measured against the plain run above (the VmHWM
+    // ceiling on this point is what `bench_guard --max-rss-mib`
+    // holds).
+    let e15_instrumented = {
+        let sessions = *dms_bench::E15_SESSION_COUNTS.last().expect("non-empty");
+        let workload = dms_bench::e15_workload(sessions);
+        let mut sink = ServeMetricsSink::bounded();
+        let mut report = None;
+        let secs = seconds_of(|| {
+            report = Some(dms_bench::e15_run_server_instrumented_on(
+                sessions,
+                &workload,
+                Some(&mut sink),
+            ));
+        });
+        let report = report.expect("point ran");
+        let mut registry = MetricsRegistry::new();
+        sink.export(&mut registry, "e15/instrumented");
+        let dir = std::env::temp_dir().join(format!("dms_e15_instrumented_{}", std::process::id()));
+        let mut writer = dms_sim::RunLogWriter::create(&dir).expect("create run-log dir");
+        writer.set_meta("experiment", "E15-instrumented");
+        writer.set_meta("sessions", sessions.to_string());
+        writer
+            .record(
+                &dms_sim::RunRecord::new("e15-instrumented")
+                    .with("offered", report.offered)
+                    .with("admitted", report.admitted)
+                    .with("deadline_misses", report.deadline_misses),
+            )
+            .expect("write record");
+        writer.finish(&registry).expect("close run-log");
+        std::fs::remove_dir_all(&dir).ok();
+        let throughput = report.offered as f64 / secs.max(1e-9);
+        let peak_rss = dms_bench::peak_rss_bytes().unwrap_or(0);
+        let overhead = secs / e15_secs("server-1m").max(1e-9) - 1.0;
+        println!(
+            "  server-1m instrumented: {:.3} s ({:+.1}% vs plain), {:.0} sessions/s/core, \
+             rss {:.1} MiB",
+            secs,
+            overhead * 100.0,
+            throughput,
+            peak_rss as f64 / (1024.0 * 1024.0)
+        );
+        (secs, throughput, peak_rss, overhead)
+    };
+
     // Micro-kernels behind the E15 numbers: event scheduling, the
     // per-slot multiplexer pass, memoised admission. Same comparisons
     // as the event_queue_perf / multiplexer_perf / admission_perf
@@ -292,6 +342,13 @@ fn main() {
         s.gauge_set("peak_rss_bytes", t.peak_rss as f64);
     }
     registry.gauge_set("e15/arena_vs_reference_speedup_100k", e15_speedup_100k);
+    {
+        let mut s = registry.scoped("e15_instrumented");
+        s.gauge_set("seconds", e15_instrumented.0);
+        s.gauge_set("sessions_per_sec_core", e15_instrumented.1);
+        s.gauge_set("peak_rss_bytes", e15_instrumented.2 as f64);
+        s.gauge_set("overhead_vs_plain", e15_instrumented.3);
+    }
     for t in &micro_timed {
         let mut s = registry.scoped(&format!("micro/{}", t.name));
         s.gauge_set("seconds", t.seconds);
@@ -405,6 +462,25 @@ fn main() {
         (
             "e15_arena_vs_reference_speedup_100k".to_string(),
             JsonValue::Float(e15_speedup_100k),
+        ),
+        (
+            "e15_instrumented".to_string(),
+            JsonValue::Object(vec![
+                ("point".to_string(), JsonValue::from("server-1m")),
+                ("seconds".to_string(), JsonValue::Float(e15_instrumented.0)),
+                (
+                    "sessions_per_sec_core".to_string(),
+                    JsonValue::Float(e15_instrumented.1),
+                ),
+                (
+                    "peak_rss_bytes".to_string(),
+                    JsonValue::from(e15_instrumented.2),
+                ),
+                (
+                    "overhead_vs_plain".to_string(),
+                    JsonValue::Float(e15_instrumented.3),
+                ),
+            ]),
         ),
         (
             "micro_kernels".to_string(),

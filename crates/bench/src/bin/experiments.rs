@@ -6,11 +6,14 @@
 //! `E12` to print only that experiment — CI uses this to diff a single
 //! experiment between `DMS_THREADS=1` and parallel runs.
 //!
-//! `--metrics-dir <dir>` additionally writes one JSON run-log per
-//! printed experiment to `<dir>/<id>.json` — rows as typed records,
-//! plus (for E12) the full instrumented sweep metrics. The run-logs
-//! are deterministic and byte-identical at any `DMS_THREADS`, which CI
-//! enforces with a directory diff.
+//! `--metrics-dir <dir>` additionally streams one chunked JSONL
+//! run-log per printed experiment to `<dir>/<id>/` — `meta.json`, the
+//! records as `chunk-*.jsonl`, `metrics.json`, and a `MANIFEST.json`
+//! clean-close marker, written through the bounded-buffer
+//! [`dms_sim::RunLogWriter`] rather than one monolithic in-memory
+//! JSON string. The run-log directories are deterministic and
+//! byte-identical at any `DMS_THREADS`, which CI enforces with a
+//! recursive directory diff; `dms-logq` slices and summarises them.
 //!
 //! The output of this binary is the source of `EXPERIMENTS.md`.
 
@@ -48,8 +51,7 @@ fn main() {
         println!();
         if let Some(dir) = &metrics_dir {
             let log = dms_bench::run_log_for(&exp);
-            let path = dir.join(format!("{}.json", exp.id));
-            std::fs::write(&path, log.to_json_string()).expect("write run-log");
+            dms_sim::stream_run_log(&log, dir.join(exp.id)).expect("stream run-log");
         }
     }
 }

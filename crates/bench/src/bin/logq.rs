@@ -1,0 +1,203 @@
+//! `dms-logq` — slice and summarise chunked JSONL run-log directories.
+//!
+//! The experiments driver's `--metrics-dir` streams one run-log
+//! directory per experiment (`meta.json`, `chunk-*.jsonl`,
+//! `metrics.json`, `MANIFEST.json`). This tool is the reader-side
+//! counterpart: it answers the questions those logs exist for without
+//! loading a whole run into memory — records stream chunk by chunk,
+//! and quantiles come from the same bounded-memory
+//! [`dms_sim::QuantileSketch`] the writers use.
+//!
+//! ```text
+//! logq summary  <dir>                      # meta, counts, tail state
+//! logq series   <dir> <kind> <field>       # one field value per line
+//! logq quantiles <dir> <kind> <field> [q..] # sketch quantile summary
+//! logq diff     <dir-a> <dir-b>            # first record divergence
+//! ```
+//!
+//! `summary` exits 0 on a cleanly closed log, 1 on a truncated tail or
+//! missing manifest (the crash-recovery cases the writer protocol
+//! distinguishes on purpose), 2 on corruption or bad usage. `diff`
+//! exits 0 when the logs match, 1 when they diverge.
+
+use std::process::ExitCode;
+
+use dms_sim::{JsonValue, QuantileSketch, RunLogReader, TailState};
+
+fn fail_usage() -> ExitCode {
+    eprintln!(
+        "usage: logq summary <dir>\n\
+         \x20      logq series <dir> <kind> <field>\n\
+         \x20      logq quantiles <dir> <kind> <field> [quantiles...]\n\
+         \x20      logq diff <dir-a> <dir-b>"
+    );
+    ExitCode::from(2)
+}
+
+/// Renders one JSON scalar the way the canonical writer does, so
+/// `series` output can be diffed against the log bytes themselves.
+fn render_field(value: &JsonValue) -> String {
+    value.as_str().map_or_else(|| value.render(), String::from)
+}
+
+/// Streams `dir`, calling `f` on every record of `kind` (every record
+/// when `kind` is `"*"`). Returns the reader's tail state.
+fn for_each_of_kind(
+    dir: &str,
+    kind: &str,
+    mut f: impl FnMut(&JsonValue),
+) -> std::io::Result<TailState> {
+    let reader = RunLogReader::open(dir)?;
+    reader.for_each_record(|record| {
+        let matches = kind == "*" || record.get("kind").and_then(JsonValue::as_str) == Some(kind);
+        if matches {
+            f(&record);
+        }
+    })
+}
+
+fn summary(dir: &str) -> std::io::Result<ExitCode> {
+    let reader = RunLogReader::open(dir)?;
+    println!("run-log {dir}");
+    for (key, value) in reader.meta()? {
+        println!("  meta {key} = {value}");
+    }
+    let mut records = 0u64;
+    let mut kinds: Vec<(String, u64)> = Vec::new();
+    let tail = reader.for_each_record(|record| {
+        records += 1;
+        let kind = record
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?")
+            .to_string();
+        match kinds.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((kind, 1)),
+        }
+    })?;
+    println!("  chunks  {}", reader.chunk_files().len());
+    println!("  records {records}");
+    for (kind, n) in &kinds {
+        println!("    {kind}: {n}");
+    }
+    let code = match tail {
+        TailState::Clean => {
+            println!("  close   clean (manifest matches)");
+            ExitCode::SUCCESS
+        }
+        TailState::MissingManifest => {
+            println!("  close   MISSING MANIFEST (crash after last whole record?)");
+            ExitCode::from(1)
+        }
+        TailState::TruncatedTail {
+            chunk,
+            complete_records,
+        } => {
+            println!("  close   TRUNCATED TAIL in {chunk} ({complete_records} records intact)");
+            ExitCode::from(1)
+        }
+    };
+    Ok(code)
+}
+
+fn series(dir: &str, kind: &str, field: &str) -> std::io::Result<ExitCode> {
+    let mut missing = 0u64;
+    for_each_of_kind(dir, kind, |record| {
+        let value = record
+            .get("fields")
+            .and_then(|f| f.get(field))
+            .or_else(|| record.get(field));
+        match value {
+            Some(v) => println!("{}", render_field(v)),
+            None => missing += 1,
+        }
+    })?;
+    if missing > 0 {
+        eprintln!("logq: {missing} matching record(s) lack field `{field}`");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn quantiles(dir: &str, kind: &str, field: &str, qs: &[f64]) -> std::io::Result<ExitCode> {
+    let mut sketch = QuantileSketch::new(0.005);
+    for_each_of_kind(dir, kind, |record| {
+        let value = record
+            .get("fields")
+            .and_then(|f| f.get(field))
+            .or_else(|| record.get(field))
+            .and_then(JsonValue::as_f64);
+        if let Some(x) = value {
+            sketch.record(x);
+        }
+    })?;
+    if sketch.is_empty() {
+        eprintln!("logq: no numeric `{field}` values in records of kind `{kind}`");
+        return Ok(ExitCode::from(1));
+    }
+    println!("{} samples of {kind}.{field}", sketch.count());
+    for &q in qs {
+        match sketch.quantile(q) {
+            Some(v) => println!("  p{:<5} {v}", q * 100.0),
+            None => println!("  p{:<5} -", q * 100.0),
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn diff(dir_a: &str, dir_b: &str) -> std::io::Result<ExitCode> {
+    // Run-logs are canonical (one compact line per record), so a
+    // faithful diff is a line diff. Collect the rendered lines rather
+    // than zipping two streaming closures — record counts may differ.
+    let collect = |dir: &str| -> std::io::Result<Vec<String>> {
+        let mut lines = Vec::new();
+        for_each_of_kind(dir, "*", |record| lines.push(record.render_compact()))?;
+        Ok(lines)
+    };
+    let a = collect(dir_a)?;
+    let b = collect(dir_b)?;
+    for (i, (la, lb)) in a.iter().zip(&b).enumerate() {
+        if la != lb {
+            println!("record {i} differs:");
+            println!("  a: {la}");
+            println!("  b: {lb}");
+            return Ok(ExitCode::from(1));
+        }
+    }
+    if a.len() != b.len() {
+        println!(
+            "record counts differ: {} in {dir_a}, {} in {dir_b} (first {} identical)",
+            a.len(),
+            b.len(),
+            a.len().min(b.len())
+        );
+        return Ok(ExitCode::from(1));
+    }
+    println!("identical: {} records", a.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["summary", dir] => summary(dir),
+        ["series", dir, kind, field] => series(dir, kind, field),
+        ["quantiles", dir, kind, field, ref rest @ ..] => {
+            let qs: Option<Vec<f64>> = rest
+                .iter()
+                .map(|s| s.parse().ok().filter(|q| (0.0..=1.0).contains(q)))
+                .collect();
+            match qs {
+                Some(qs) if qs.is_empty() => quantiles(dir, kind, field, &[0.5, 0.9, 0.99, 1.0]),
+                Some(qs) => quantiles(dir, kind, field, &qs),
+                None => return fail_usage(),
+            }
+        }
+        ["diff", dir_a, dir_b] => diff(dir_a, dir_b),
+        _ => return fail_usage(),
+    };
+    result.unwrap_or_else(|err| {
+        eprintln!("logq: {err}");
+        ExitCode::from(2)
+    })
+}

@@ -37,7 +37,9 @@ use dms_serve::{
     FaultReport, RecoveryConfig, ReferenceServerSim, ServeMetricsSink, ServerConfig, ServerReport,
     ServerSim, SessionTemplate, Workload,
 };
-use dms_sim::{FaultPlan, FaultSpec, MetricsRegistry, ParRunner, RunLog, RunRecord, SimRng};
+use dms_sim::{
+    FaultPlan, FaultSpec, Metric, MetricsRegistry, ParRunner, RunLog, RunRecord, SimRng,
+};
 use dms_wireless::channel::FadingChannel;
 use dms_wireless::fgs::{FgsStreamer, StreamingPolicy};
 use dms_wireless::jscc::JsccOptimizer;
@@ -1920,6 +1922,34 @@ pub fn e15_run_server(sessions: u64) -> ServerReport {
     e15_run_server_on(sessions, &e15_workload(sessions))
 }
 
+/// [`e15_run_server_on`] with a metrics sink attached — the harness
+/// hook for bounded instrumentation. A [`ServeMetricsSink::bounded`]
+/// sink keeps the whole 10^6-session sweep observable in O(1) memory:
+/// counters, quantile sketches of the per-slot series, and a
+/// deterministic per-session deadline-miss sample, instead of six
+/// million-element vectors nothing will ever plot whole.
+#[must_use]
+pub fn e15_run_server_instrumented_on(
+    sessions: u64,
+    workload: &Workload,
+    sink: Option<&mut ServeMetricsSink>,
+) -> ServerReport {
+    ServerSim::new(e15_server_config(sessions, &workload.template))
+        .expect("valid config")
+        .run_instrumented(workload, sink)
+        .expect("valid workload")
+}
+
+/// [`e15_run_server_instrumented_on`] at one size, building the
+/// workload itself.
+#[must_use]
+pub fn e15_run_server_instrumented(
+    sessions: u64,
+    sink: Option<&mut ServeMetricsSink>,
+) -> ServerReport {
+    e15_run_server_instrumented_on(sessions, &e15_workload(sessions), sink)
+}
+
 /// Runs the seed reference engine on the *identical* workload and
 /// config. Its report must equal [`e15_run_server`]'s bit for bit —
 /// the reduced experiment and the differential proptests both pin
@@ -2065,6 +2095,41 @@ pub fn e15_run_log() -> RunLog {
                 .with("mean_utility", outcome.mean_utility),
         );
     }
+    // The bounded-instrumentation record: the reduced server point run
+    // again with a constant-memory sink. Its sketch quantiles and the
+    // deterministic miss sample land both in the registry (under
+    // `e15/instrumented`) and in a flat record, so the CI
+    // `DMS_THREADS` byte-diff covers the streaming aggregates end to
+    // end, not just the counters.
+    let mut sink = ServeMetricsSink::bounded();
+    let report = e15_run_server_instrumented(E15_REDUCED_SESSIONS, Some(&mut sink));
+    sink.export(log.registry_mut(), "e15/instrumented");
+    let quantile = |log: &RunLog, key: &str, q: f64| -> f64 {
+        match log.registry().get(&format!("e15/instrumented/{key}")) {
+            Some(Metric::Sketch(s)) => s.quantile(q).unwrap_or(0.0),
+            _ => 0.0,
+        }
+    };
+    let miss_sample = match log.registry().get("e15/instrumented/session_misses") {
+        Some(Metric::Reservoir(r)) => {
+            let sum: f64 = r.samples().iter().map(|e| e.value).sum();
+            (r.len() as u64, sum / r.len().max(1) as f64)
+        }
+        _ => (0, 0.0),
+    };
+    log.push(
+        RunRecord::new("e15-instrumented")
+            .with("label", "server-reduced-bounded")
+            .with("offered", report.offered)
+            .with("admitted", report.admitted)
+            .with("deadline_misses", report.deadline_misses)
+            .with("active_p50", quantile(&log, "active", 0.5))
+            .with("active_p99", quantile(&log, "active", 0.99))
+            .with("backlog_bits_p99", quantile(&log, "backlog_bits", 0.99))
+            .with("utility_p50", quantile(&log, "utility", 0.5))
+            .with("miss_sample_len", miss_sample.0)
+            .with("miss_sample_mean", miss_sample.1),
+    );
     log
 }
 

@@ -267,6 +267,12 @@ impl ClusterSim {
     /// [`ParRunner`] and are merged in shard order, so the report (and
     /// the sinks) are byte-identical at any `DMS_THREADS`.
     ///
+    /// If `sinks` arrives pre-seeded with exactly one sink per shard,
+    /// each entry is the corresponding shard's starting sink — the seam
+    /// for bounded-memory instrumentation (seed with
+    /// [`ServeMetricsSink::bounded`] prototypes). Otherwise fresh
+    /// full-series sinks are created per shard.
+    ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidParameter`] on a fault-list length
@@ -309,13 +315,22 @@ impl ClusterSim {
         let slots = shard_workloads.first().map_or(0, |w| w.slots);
         let none_plan = FaultPlan::none(slots);
         let want_sinks = sinks.is_some();
+        // A pre-seeded sink per shard (e.g. bounded prototypes) is the
+        // shard's starting sink; anything else means fresh full-mode
+        // sinks sized for the horizon.
+        let seeded: Option<&[ServeMetricsSink]> = sinks
+            .as_deref()
+            .map(Vec::as_slice)
+            .filter(|s| s.len() == self.config.shards.len());
         let jobs: Vec<usize> = (0..self.config.shards.len()).collect();
         let results: Vec<Result<(FaultReport, ServeMetricsSink), ServeError>> = ParRunner::new()
             .map(&jobs, |&i| {
                 let server = ServerSim::new(self.config.shards[i])?;
                 let plan = faults.get(i).map_or(&none_plan, |f| &f.plan);
-                let mut sink =
-                    ServeMetricsSink::with_capacity(if want_sinks { slots as usize } else { 0 });
+                let mut sink = seeded.map_or_else(
+                    || ServeMetricsSink::with_capacity(if want_sinks { slots as usize } else { 0 }),
+                    |s| s[i].clone(),
+                );
                 // Shard-level recovery stays off: crashed sessions are
                 // re-routed *across* shards by the dispatch pass, not
                 // retried into the shard that lost them.
@@ -515,6 +530,47 @@ mod tests {
             .sessions
             .iter()
             .any(|s| s.arrival_slot == 60 + backoff));
+    }
+
+    /// Pre-seeded bounded sinks flow through the shard fan-out: every
+    /// shard records into a bounded prototype, nothing accumulates
+    /// per-slot series, and the result is `DMS_THREADS`-independent
+    /// (the shard partition and job-order merge are fixed).
+    #[test]
+    fn preseeded_bounded_sinks_reach_the_shards() {
+        let wl = workload(1.0, 200, 120, 45);
+        let template = wl.template;
+        let sim = cluster(
+            vec![shard_config(100, &template), shard_config(100, &template)],
+            BalancerPolicy::JoinShortestQueue,
+        );
+        let mut sinks = vec![ServeMetricsSink::bounded(); 2];
+        let report = sim
+            .run_faulted(&wl, &[], Some(&mut sinks))
+            .expect("cluster runs");
+        assert_eq!(sinks.len(), 2);
+        let mut merged = ServeMetricsSink::bounded();
+        for sink in &sinks {
+            assert!(sink.is_bounded(), "prototype mode survives the fan-out");
+            assert_eq!(sink.slots(), 0, "no per-slot series accumulate");
+            merged.merge(sink);
+        }
+        let mut reg = dms_sim::MetricsRegistry::new();
+        merged.export(&mut reg, "fleet");
+        assert_eq!(reg.counter("fleet/slots"), 2 * report.slots);
+        let total_admitted: u64 = report.shards.iter().map(|s| s.base.admitted).sum();
+        assert_eq!(reg.counter("fleet/admitted_total"), total_admitted);
+        assert!(
+            reg.counter("fleet/departed") > 0,
+            "departures flow into the reservoir"
+        );
+
+        // Unseeded (or wrong-length) sinks still get full-series mode.
+        let mut plain: Vec<ServeMetricsSink> = Vec::new();
+        sim.run_faulted(&wl, &[], Some(&mut plain)).expect("runs");
+        assert_eq!(plain.len(), 2);
+        assert!(plain.iter().all(|s| !s.is_bounded()));
+        assert!(plain.iter().all(|s| s.slots() == report.slots as usize));
     }
 
     #[test]

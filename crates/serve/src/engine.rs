@@ -268,7 +268,7 @@ impl ServerEngine {
     /// verbatim modulo `self.` — auditable against
     /// [`crate::ReferenceServerSim`].
     #[allow(clippy::too_many_lines)] // one slot loop, kept linear for auditability
-    pub fn step_slot(&mut self, sink: Option<&mut ServeMetricsSink>) -> bool {
+    pub fn step_slot(&mut self, mut sink: Option<&mut ServeMetricsSink>) -> bool {
         if self.slot >= self.slots {
             return false;
         }
@@ -354,7 +354,15 @@ impl ServerEngine {
                     }
                 }
                 ServerEvent::Depart { handle, act } => {
-                    self.arena.depart(handle, act);
+                    if self.arena.depart(handle, act) {
+                        // The slot's fields stay valid until recycled:
+                        // read the departed session's trace for the
+                        // bounded sink's per-session reservoir.
+                        if let Some(s) = sink.as_deref_mut() {
+                            let hi = handle as usize;
+                            s.record_departure(self.arena.ids[hi], self.arena.misses[hi]);
+                        }
+                    }
                 }
                 ServerEvent::Retry {
                     idx,

@@ -12,10 +12,85 @@
 //! [`ServeMetricsSink::export`] publishes the captured series into a
 //! [`dms_sim::MetricsRegistry`] under a caller-chosen scope, from where
 //! they flow into a [`dms_sim::RunLog`].
+//!
+//! # Bounded mode
+//!
+//! The default (full) mode keeps one `Vec` entry per slot — fine for
+//! the 10^2–10^3-slot experiment sweeps, but memory grows with the
+//! run, which is exactly what the million-session E15 arm cannot
+//! afford on top of its session state. [`ServeMetricsSink::bounded`]
+//! builds a sink that folds every slot sample into O(1)-memory
+//! streaming aggregates instead: per-signal [`dms_sim::QuantileSketch`]es,
+//! scalar counters, and a deterministic [`dms_sim::Reservoir`] of
+//! per-session deadline-miss traces fed by
+//! [`ServeMetricsSink::record_departure`]. Bounded sinks [`merge`]
+//! exactly (sketch buckets add, reservoirs re-truncate), so per-shard
+//! sinks merged in job order equal a sequential recording bit for bit
+//! — the same `ParRunner` contract the full-mode series obey by
+//! concatenation.
+//!
+//! [`merge`]: ServeMetricsSink::merge
 
-use dms_sim::MetricsRegistry;
+use dms_sim::{MetricsRegistry, QuantileSketch, Reservoir};
 
-/// Per-slot series recorded from one server run.
+/// Relative-error bound of every bounded-mode quantile sketch.
+pub const SINK_SKETCH_ALPHA: f64 = 0.01;
+
+/// Capacity of the bounded-mode per-session miss reservoir.
+pub const SINK_RESERVOIR_K: usize = 64;
+
+/// Seed of the bounded-mode reservoir. One fixed constant for every
+/// sink so shard sinks are always mergeable; the retained session set
+/// is a pure function of this and the offered ids.
+pub const SINK_RESERVOIR_SEED: u64 = 0x05ee_d0b5_ed15_7a11;
+
+/// Bounded-memory aggregates of the per-slot signals (see the module
+/// docs): what a bounded sink keeps instead of full series.
+#[derive(Debug, Clone, PartialEq)]
+struct BoundedAggregates {
+    slots: u64,
+    admitted_total: u64,
+    deadline_misses_total: u64,
+    active: QuantileSketch,
+    backlog_bits: QuantileSketch,
+    layer_cap: QuantileSketch,
+    utility: QuantileSketch,
+    /// Deadline-miss count per departed session, keyed by session id.
+    session_misses: Reservoir,
+    departed: u64,
+}
+
+impl BoundedAggregates {
+    fn new() -> Self {
+        BoundedAggregates {
+            slots: 0,
+            admitted_total: 0,
+            deadline_misses_total: 0,
+            active: QuantileSketch::new(SINK_SKETCH_ALPHA),
+            backlog_bits: QuantileSketch::new(SINK_SKETCH_ALPHA),
+            layer_cap: QuantileSketch::new(SINK_SKETCH_ALPHA),
+            utility: QuantileSketch::new(SINK_SKETCH_ALPHA),
+            session_misses: Reservoir::new(SINK_RESERVOIR_K, SINK_RESERVOIR_SEED),
+            departed: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &BoundedAggregates) {
+        self.slots += other.slots;
+        self.admitted_total += other.admitted_total;
+        self.deadline_misses_total += other.deadline_misses_total;
+        self.active.merge(&other.active);
+        self.backlog_bits.merge(&other.backlog_bits);
+        self.layer_cap.merge(&other.layer_cap);
+        self.utility.merge(&other.utility);
+        self.session_misses.merge(&other.session_misses);
+        self.departed += other.departed;
+    }
+}
+
+/// Per-slot instrumentation recorded from one server run: full series
+/// by default, bounded streaming aggregates via
+/// [`ServeMetricsSink::bounded`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeMetricsSink {
     admitted: Vec<u64>,
@@ -25,16 +100,18 @@ pub struct ServeMetricsSink {
     deadline_misses: Vec<u64>,
     utility: Vec<f64>,
     enqueued_bits: u64,
+    bounded: Option<BoundedAggregates>,
 }
 
 impl ServeMetricsSink {
-    /// Creates an empty sink.
+    /// Creates an empty full-mode sink.
     #[must_use]
     pub fn new() -> Self {
         ServeMetricsSink::default()
     }
 
-    /// Creates a sink with capacity for `slots` samples per series.
+    /// Creates a full-mode sink with capacity for `slots` samples per
+    /// series.
     #[must_use]
     pub fn with_capacity(slots: usize) -> Self {
         ServeMetricsSink {
@@ -45,10 +122,29 @@ impl ServeMetricsSink {
             deadline_misses: Vec::with_capacity(slots),
             utility: Vec::with_capacity(slots),
             enqueued_bits: 0,
+            bounded: None,
         }
     }
 
-    /// Appends one slot's sample to every series.
+    /// Creates a bounded-mode sink: O(1) memory however long the run,
+    /// at the cost of quantile summaries instead of full series (see
+    /// the module docs).
+    #[must_use]
+    pub fn bounded() -> Self {
+        ServeMetricsSink {
+            bounded: Some(BoundedAggregates::new()),
+            ..ServeMetricsSink::default()
+        }
+    }
+
+    /// Whether this sink aggregates instead of keeping full series.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.bounded.is_some()
+    }
+
+    /// Appends one slot's sample to every series (full mode) or folds
+    /// it into the streaming aggregates (bounded mode).
     #[allow(clippy::too_many_arguments)] // one argument per recorded signal
     pub fn record_slot(
         &mut self,
@@ -60,13 +156,59 @@ impl ServeMetricsSink {
         utility: f64,
         enqueued_bits: u64,
     ) {
+        self.enqueued_bits += enqueued_bits;
+        if let Some(agg) = self.bounded.as_mut() {
+            agg.slots += 1;
+            agg.admitted_total += admitted;
+            agg.deadline_misses_total += deadline_misses;
+            agg.active.record(active as f64);
+            agg.backlog_bits.record(backlog_bits as f64);
+            agg.layer_cap.record(layer_cap as f64);
+            agg.utility.record(utility);
+            return;
+        }
         self.admitted.push(admitted);
         self.active.push(active);
         self.backlog_bits.push(backlog_bits);
         self.layer_cap.push(layer_cap);
         self.deadline_misses.push(deadline_misses);
         self.utility.push(utility);
-        self.enqueued_bits += enqueued_bits;
+    }
+
+    /// Records one session departure: in bounded mode the session's
+    /// deadline-miss count is offered to the per-session reservoir
+    /// (keyed by session id, so the retained trace set is independent
+    /// of departure order and shard split); in full mode this is a
+    /// no-op — per-slot series already carry the signal.
+    pub fn record_departure(&mut self, session_id: u64, misses: u64) {
+        if let Some(agg) = self.bounded.as_mut() {
+            agg.departed += 1;
+            agg.session_misses.offer(session_id, misses as f64);
+        }
+    }
+
+    /// Merges another sink of the same mode: series concatenate (full)
+    /// or aggregates add exactly (bounded). Merging per-shard sinks in
+    /// job order equals sequential recording bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sinks are in different modes.
+    pub fn merge(&mut self, other: &ServeMetricsSink) {
+        self.enqueued_bits += other.enqueued_bits;
+        match (self.bounded.as_mut(), other.bounded.as_ref()) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {
+                self.admitted.extend_from_slice(&other.admitted);
+                self.active.extend_from_slice(&other.active);
+                self.backlog_bits.extend_from_slice(&other.backlog_bits);
+                self.layer_cap.extend_from_slice(&other.layer_cap);
+                self.deadline_misses
+                    .extend_from_slice(&other.deadline_misses);
+                self.utility.extend_from_slice(&other.utility);
+            }
+            _ => panic!("cannot merge a bounded sink with a full-series sink"),
+        }
     }
 
     /// Slots recorded so far.
@@ -120,12 +262,31 @@ impl ServeMetricsSink {
         self.enqueued_bits
     }
 
-    /// Publishes the captured series into `registry` under `scope`
-    /// (series `scope/admitted`, `scope/active`, `scope/backlog_bits`,
-    /// `scope/layer_cap`, `scope/deadline_misses`, `scope/utility` and
-    /// counter `scope/enqueued_bits`).
+    /// Publishes the captured data into `registry` under `scope`.
+    ///
+    /// Full mode: series `scope/admitted`, `scope/active`,
+    /// `scope/backlog_bits`, `scope/layer_cap`, `scope/deadline_misses`,
+    /// `scope/utility` and counter `scope/enqueued_bits`. Bounded mode:
+    /// counters `scope/slots`, `scope/admitted_total`,
+    /// `scope/deadline_misses_total`, `scope/departed`,
+    /// `scope/enqueued_bits`; sketches `scope/active`,
+    /// `scope/backlog_bits`, `scope/layer_cap`, `scope/utility`; and
+    /// the `scope/session_misses` reservoir.
     pub fn export(&self, registry: &mut MetricsRegistry, scope: &str) {
         let mut scoped = registry.scoped(scope);
+        scoped.counter_add("enqueued_bits", self.enqueued_bits);
+        if let Some(agg) = self.bounded.as_ref() {
+            scoped.counter_add("slots", agg.slots);
+            scoped.counter_add("admitted_total", agg.admitted_total);
+            scoped.counter_add("deadline_misses_total", agg.deadline_misses_total);
+            scoped.counter_add("departed", agg.departed);
+            scoped.sketch_merge("active", &agg.active);
+            scoped.sketch_merge("backlog_bits", &agg.backlog_bits);
+            scoped.sketch_merge("layer_cap", &agg.layer_cap);
+            scoped.sketch_merge("utility", &agg.utility);
+            scoped.reservoir_merge("session_misses", &agg.session_misses);
+            return;
+        }
         scoped.series_extend("admitted", self.admitted.iter().map(|&v| v as f64));
         scoped.series_extend("active", self.active.iter().map(|&v| v as f64));
         scoped.series_extend("backlog_bits", self.backlog_bits.iter().map(|&v| v as f64));
@@ -135,7 +296,6 @@ impl ServeMetricsSink {
             self.deadline_misses.iter().map(|&v| v as f64),
         );
         scoped.series_extend("utility", self.utility.iter().copied());
-        scoped.counter_add("enqueued_bits", self.enqueued_bits);
     }
 }
 
@@ -164,5 +324,87 @@ mod tests {
         assert_eq!(registry.series("server/utility"), &[2.75, 1.5]);
         assert_eq!(registry.counter("server/enqueued_bits"), 14_336);
         assert_eq!(registry.len(), 7);
+    }
+
+    #[test]
+    fn bounded_sink_aggregates_with_constant_memory() {
+        let mut sink = ServeMetricsSink::bounded();
+        assert!(sink.is_bounded());
+        for slot in 0..10_000u64 {
+            sink.record_slot(1, slot % 100, slot * 10, 3, slot % 2, 0.5, 100);
+            sink.record_departure(slot, slot % 7);
+        }
+        // Full-mode series stay empty — nothing grows with the run.
+        assert_eq!(sink.slots(), 0);
+        assert_eq!(sink.enqueued_bits(), 1_000_000);
+
+        let mut registry = MetricsRegistry::new();
+        sink.export(&mut registry, "server");
+        assert_eq!(registry.counter("server/slots"), 10_000);
+        assert_eq!(registry.counter("server/admitted_total"), 10_000);
+        assert_eq!(registry.counter("server/deadline_misses_total"), 5_000);
+        assert_eq!(registry.counter("server/departed"), 10_000);
+        let Some(dms_sim::Metric::Sketch(active)) = registry.get("server/active") else {
+            panic!("active sketch missing");
+        };
+        assert_eq!(active.count(), 10_000);
+        // Median of slot % 100 is ~50, within the sketch's bound.
+        let p50 = active.quantile(0.5).expect("non-empty");
+        assert!((p50 - 50.0).abs() <= 2.0, "p50 = {p50}");
+        let Some(dms_sim::Metric::Reservoir(r)) = registry.get("server/session_misses") else {
+            panic!("session reservoir missing");
+        };
+        assert_eq!(r.len(), SINK_RESERVOIR_K);
+        assert_eq!(r.offered(), 10_000);
+    }
+
+    /// The sink-level `ParRunner` contract: per-shard bounded sinks
+    /// merged in job order equal one sequential recording exactly.
+    #[test]
+    fn bounded_sink_merge_equals_sequential() {
+        let record = |sink: &mut ServeMetricsSink, slots: std::ops::Range<u64>| {
+            for s in slots {
+                sink.record_slot(s % 2, s % 37, s * 100, 2, s % 3, (s % 11) as f64 * 0.25, 50);
+                if s % 5 == 0 {
+                    sink.record_departure(s, s % 4);
+                }
+            }
+        };
+        let mut sequential = ServeMetricsSink::bounded();
+        record(&mut sequential, 0..400);
+        let mut merged = ServeMetricsSink::bounded();
+        for w in 0..4u64 {
+            let mut shard = ServeMetricsSink::bounded();
+            record(&mut shard, (w * 100)..((w + 1) * 100));
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, sequential);
+        let export = |sink: &ServeMetricsSink| {
+            let mut reg = MetricsRegistry::new();
+            sink.export(&mut reg, "s");
+            reg.to_json().render()
+        };
+        assert_eq!(export(&merged), export(&sequential));
+    }
+
+    #[test]
+    fn full_sink_merge_concatenates() {
+        let mut a = ServeMetricsSink::new();
+        a.record_slot(1, 2, 3, 4, 5, 6.0, 7);
+        let mut b = ServeMetricsSink::new();
+        b.record_slot(10, 20, 30, 40, 50, 60.0, 70);
+        // Full-mode departures are a no-op, not an error.
+        b.record_departure(1, 2);
+        a.merge(&b);
+        assert_eq!(a.slots(), 2);
+        assert_eq!(a.active(), &[2, 20]);
+        assert_eq!(a.enqueued_bits(), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn mixed_mode_merge_panics() {
+        let mut a = ServeMetricsSink::bounded();
+        a.merge(&ServeMetricsSink::new());
     }
 }

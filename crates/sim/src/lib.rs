@@ -52,6 +52,8 @@ pub mod faults;
 pub mod metrics;
 pub mod par;
 pub mod rng;
+pub mod runlog;
+pub mod sketch;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -61,6 +63,10 @@ pub use faults::{FaultError, FaultEvent, FaultPlan, FaultSpec, ScheduledFault};
 pub use metrics::{JsonValue, Metric, MetricsRegistry, RunLog, RunRecord, ScopedMetrics};
 pub use par::ParRunner;
 pub use rng::SimRng;
+pub use runlog::{
+    stream_run_log, RunLogReader, RunLogScan, RunLogSummary, RunLogWriter, TailState,
+};
+pub use sketch::{QuantileSketch, Reservoir, ReservoirEntry};
 pub use stats::{Autocorrelation, ConfidenceInterval, Histogram, OnlineStats, TimeWeighted};
 pub use time::{SimTime, TickClock};
 pub use trace::{Trace, TraceSample};

@@ -48,6 +48,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::sketch::{QuantileSketch, Reservoir};
 use crate::stats::Histogram;
 
 // ---------------------------------------------------------------------------
@@ -210,6 +211,68 @@ impl JsonValue {
                 }
                 out.push('\n');
                 out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the value as compact single-line JSON (no whitespace).
+    ///
+    /// The canonical form for JSONL run-log records: one line per
+    /// value, fields in insertion order, floats via shortest-round-trip
+    /// `Display`. Contains no raw newline or other control character —
+    /// [`escape_into`] escapes everything below U+0020 — so splitting a
+    /// chunk file on `\n` always recovers record boundaries.
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    /// Appends the compact rendering to `out` (see [`render_compact`]).
+    ///
+    /// [`render_compact`]: JsonValue::render_compact
+    pub fn render_compact_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::Uint(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, key);
+                    out.push(':');
+                    value.render_compact_into(out);
+                }
                 out.push('}');
             }
         }
@@ -380,6 +443,19 @@ impl Parser<'_> {
         }
     }
 
+    /// Reads the four hex digits of a `\u` escape (the `\u` itself
+    /// already consumed) and returns the code unit.
+    fn hex_unit(&mut self) -> Result<u32, &'static str> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, &'static str> {
         self.pos += 1; // opening quote
         let mut out = String::new();
@@ -388,6 +464,11 @@ impl Parser<'_> {
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
+                // RFC 8259 §7: control characters (U+0000–U+001F) MUST
+                // be escaped. Accepting them raw would also break the
+                // JSONL framing invariant that a record never contains
+                // a literal newline.
+                0x00..=0x1f => return Err("unescaped control character in string"),
                 b'\\' => {
                     let esc = self.peek().ok_or("unterminated escape")?;
                     self.pos += 1;
@@ -401,15 +482,24 @@ impl Parser<'_> {
                         b'b' => out.push('\u{0008}'),
                         b'f' => out.push('\u{000c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let unit = self.hex_unit()?;
+                            let code = match unit {
+                                // High surrogate: must pair with a
+                                // following \uDC00..\uDFFF low half.
+                                0xd800..=0xdbff => {
+                                    if !(self.eat(b'\\') && self.eat(b'u')) {
+                                        return Err("unpaired surrogate in \\u escape");
+                                    }
+                                    let low = self.hex_unit()?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err("unpaired surrogate in \\u escape");
+                                    }
+                                    0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
+                                }
+                                0xdc00..=0xdfff => return Err("unpaired surrogate in \\u escape"),
+                                _ => unit,
+                            };
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
                         }
                         _ => return Err("unknown escape"),
                     }
@@ -489,6 +579,12 @@ pub enum Metric {
     Histogram(Histogram),
     /// Ordered per-slot samples (merge: concatenate in job order).
     Series(Vec<f64>),
+    /// Bounded-memory quantile summary (merge: bucket-wise add;
+    /// `alpha`s must agree).
+    Sketch(QuantileSketch),
+    /// Deterministic bottom-k sample (merge: union + re-truncate;
+    /// capacity and seed must agree).
+    Reservoir(Reservoir),
 }
 
 impl Metric {
@@ -498,6 +594,8 @@ impl Metric {
             Metric::Gauge(_) => "gauge",
             Metric::Histogram(_) => "histogram",
             Metric::Series(_) => "series",
+            Metric::Sketch(_) => "sketch",
+            Metric::Reservoir(_) => "reservoir",
         }
     }
 
@@ -518,6 +616,12 @@ impl Metric {
             }
             Metric::Series(values) => {
                 fields.push(("values".to_string(), JsonValue::from(values.clone())));
+            }
+            Metric::Sketch(s) => {
+                fields.push(("sketch".to_string(), s.to_json()));
+            }
+            Metric::Reservoir(r) => {
+                fields.push(("reservoir".to_string(), r.to_json()));
             }
         }
         JsonValue::Object(fields)
@@ -652,6 +756,94 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records `x` into the quantile sketch at `key`, creating it with
+    /// relative-error bound `alpha` on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` holds a different metric type or a sketch with a
+    /// different `alpha`.
+    pub fn sketch_record(&mut self, key: &str, x: f64, alpha: f64) {
+        match self
+            .metrics
+            .entry(key.to_string())
+            .or_insert_with(|| Metric::Sketch(QuantileSketch::new(alpha)))
+        {
+            Metric::Sketch(s) => {
+                assert!(
+                    s.alpha() == alpha,
+                    "sketch {key} has alpha {}, not {alpha}",
+                    s.alpha()
+                );
+                s.record(x);
+            }
+            other => panic!("metric {key} is a {}, not a sketch", other.kind()),
+        }
+    }
+
+    /// Offers `(id, value)` to the reservoir at `key`, creating it with
+    /// capacity `k` and the given `seed` on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` holds a different metric type or a reservoir
+    /// with a different capacity/seed.
+    pub fn reservoir_offer(&mut self, key: &str, id: u64, value: f64, k: usize, seed: u64) {
+        match self
+            .metrics
+            .entry(key.to_string())
+            .or_insert_with(|| Metric::Reservoir(Reservoir::new(k, seed)))
+        {
+            Metric::Reservoir(r) => {
+                assert!(
+                    r.capacity() == k && r.seed() == seed,
+                    "reservoir {key} has capacity/seed ({}, {}), not ({k}, {seed})",
+                    r.capacity(),
+                    r.seed()
+                );
+                r.offer(id, value);
+            }
+            other => panic!("metric {key} is a {}, not a reservoir", other.kind()),
+        }
+    }
+
+    /// Merges `sketch` into the quantile sketch at `key` bucket-wise,
+    /// installing a copy if the key is new. Exact, so repeated exports
+    /// from shard-local sketches equal one sequential sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` holds a different metric type or a sketch with a
+    /// different `alpha`.
+    pub fn sketch_merge(&mut self, key: &str, sketch: &QuantileSketch) {
+        match self.metrics.get_mut(key) {
+            None => {
+                self.metrics
+                    .insert(key.to_string(), Metric::Sketch(sketch.clone()));
+            }
+            Some(Metric::Sketch(s)) => s.merge(sketch),
+            Some(other) => panic!("metric {key} is a {}, not a sketch", other.kind()),
+        }
+    }
+
+    /// Merges `reservoir` into the reservoir at `key` (union +
+    /// re-truncate), installing a copy if the key is new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` holds a different metric type or a reservoir
+    /// with a different capacity/seed.
+    pub fn reservoir_merge(&mut self, key: &str, reservoir: &Reservoir) {
+        match self.metrics.get_mut(key) {
+            None => {
+                self.metrics
+                    .insert(key.to_string(), Metric::Reservoir(reservoir.clone()));
+            }
+            Some(Metric::Reservoir(r)) => r.merge(reservoir),
+            Some(other) => panic!("metric {key} is a {}, not a reservoir", other.kind()),
+        }
+    }
+
     /// Counter value at `key` (0 if absent).
     ///
     /// # Panics
@@ -692,6 +884,8 @@ impl MetricsRegistry {
                     (Metric::Gauge(a), Metric::Gauge(b)) => *a = *b,
                     (Metric::Histogram(a), Metric::Histogram(b)) => a.merge(b),
                     (Metric::Series(a), Metric::Series(b)) => a.extend_from_slice(b),
+                    (Metric::Sketch(a), Metric::Sketch(b)) => a.merge(b),
+                    (Metric::Reservoir(a), Metric::Reservoir(b)) => a.merge(b),
                     (existing, incoming) => panic!(
                         "metric {key}: cannot merge {} into {}",
                         incoming.kind(),
@@ -750,6 +944,27 @@ impl ScopedMetrics<'_> {
     /// Appends all of `values` to the scoped series `name`.
     pub fn series_extend(&mut self, name: &str, values: impl IntoIterator<Item = f64>) {
         self.registry.series_extend(&self.key(name), values);
+    }
+
+    /// Records into the scoped quantile sketch `name`.
+    pub fn sketch_record(&mut self, name: &str, x: f64, alpha: f64) {
+        self.registry.sketch_record(&self.key(name), x, alpha);
+    }
+
+    /// Offers to the scoped reservoir `name`.
+    pub fn reservoir_offer(&mut self, name: &str, id: u64, value: f64, k: usize, seed: u64) {
+        self.registry
+            .reservoir_offer(&self.key(name), id, value, k, seed);
+    }
+
+    /// Merges a whole sketch into the scoped sketch `name`.
+    pub fn sketch_merge(&mut self, name: &str, sketch: &QuantileSketch) {
+        self.registry.sketch_merge(&self.key(name), sketch);
+    }
+
+    /// Merges a whole reservoir into the scoped reservoir `name`.
+    pub fn reservoir_merge(&mut self, name: &str, reservoir: &Reservoir) {
+        self.registry.reservoir_merge(&self.key(name), reservoir);
     }
 }
 
@@ -817,7 +1032,11 @@ impl RunRecord {
         &self.fields
     }
 
-    fn to_json(&self) -> JsonValue {
+    /// The record as a JSON object `{kind, slot?, fields}` — the shape
+    /// both [`RunLog::to_json`] embeds and [`crate::RunLogWriter`]
+    /// streams as one JSONL line.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
         let mut obj = vec![("kind".to_string(), JsonValue::from(self.kind.as_str()))];
         if let Some(slot) = self.slot {
             obj.push(("slot".to_string(), JsonValue::Uint(slot)));
@@ -856,6 +1075,11 @@ impl RunLog {
     #[must_use]
     pub fn meta(&self, key: &str) -> Option<&str> {
         self.meta.get(key).map(String::as_str)
+    }
+
+    /// Iterates metadata entries in key order.
+    pub fn meta_entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
     /// The embedded metrics registry.
@@ -1089,6 +1313,152 @@ mod tests {
                 .map(<[_]>::len),
             Some(2)
         );
+    }
+
+    /// Render side of the control-character contract: every code point
+    /// below U+0020 leaves [`escape_into`] as an escape sequence, never
+    /// as a raw byte, so rendered JSON is always RFC 8259-valid and
+    /// JSONL lines never contain a stray newline.
+    #[test]
+    fn render_escapes_every_control_character() {
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).expect("control chars are scalars");
+            let rendered = JsonValue::Str(c.to_string()).render();
+            assert!(
+                rendered.bytes().all(|b| b == b'"' || b >= 0x20),
+                "U+{code:04X} rendered raw: {rendered:?}"
+            );
+            let round = JsonValue::parse(&rendered).expect("own output parses");
+            assert_eq!(round, JsonValue::Str(c.to_string()), "U+{code:04X}");
+        }
+    }
+
+    /// Regression: the parser used to accept raw control characters
+    /// inside strings — invalid JSON per RFC 8259 §7, and a framing
+    /// hazard for JSONL (a raw newline inside a string would split one
+    /// record into two unparseable lines). This test fails on the
+    /// pre-fix parser.
+    #[test]
+    fn parse_rejects_raw_control_characters_in_strings() {
+        assert!(JsonValue::parse("\"a\u{0001}b\"").is_err());
+        assert!(JsonValue::parse("\"a\nb\"").is_err());
+        assert!(JsonValue::parse("\"\u{0000}\"").is_err());
+        assert!(JsonValue::parse("{\"k\u{001f}\": 1}").is_err());
+        // The escaped forms of the same strings parse fine.
+        assert_eq!(
+            JsonValue::parse("\"a\\u0001b\""),
+            Ok(JsonValue::Str("a\u{0001}b".into()))
+        );
+        assert_eq!(
+            JsonValue::parse("\"a\\nb\""),
+            Ok(JsonValue::Str("a\nb".into()))
+        );
+    }
+
+    /// Regression: `\u` escapes used to decode each UTF-16 code unit in
+    /// isolation, so a surrogate pair like `\ud83d\ude00` (😀) became
+    /// two U+FFFD replacement characters. This test fails on the
+    /// pre-fix parser.
+    #[test]
+    fn parse_combines_surrogate_pairs() {
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\\ude00\""),
+            Ok(JsonValue::Str("😀".into()))
+        );
+        assert_eq!(
+            JsonValue::parse("\"x\\uD834\\uDD1Ey\""),
+            Ok(JsonValue::Str("x\u{1d11e}y".into()))
+        );
+        // Lone or malformed surrogate halves are errors, not U+FFFD.
+        for bad in [
+            "\"\\ud83d\"",
+            "\"\\ud83d!\"",
+            "\"\\ud83d\\n\"",
+            "\"\\ud83d\\u0041\"",
+            "\"\\ude00\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Astral characters also survive a render round-trip raw.
+        let v = JsonValue::Str("😀\u{1d11e}".into());
+        assert_eq!(JsonValue::parse(&v.render()), Ok(v));
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_parses_back() {
+        let v = JsonValue::Object(vec![
+            ("s".to_string(), JsonValue::from("a\nb\u{0001}")),
+            ("n".to_string(), JsonValue::Float(0.25)),
+            ("bad".to_string(), JsonValue::Float(f64::INFINITY)),
+            (
+                "a".to_string(),
+                JsonValue::Array(vec![JsonValue::Uint(1), JsonValue::Null]),
+            ),
+            ("e".to_string(), JsonValue::Object(Vec::new())),
+        ]);
+        let compact = v.render_compact();
+        assert_eq!(
+            compact,
+            "{\"s\":\"a\\nb\\u0001\",\"n\":0.25,\"bad\":null,\"a\":[1,null],\"e\":{}}"
+        );
+        assert!(!compact.contains('\n'));
+        let mut expect = v.clone();
+        // Non-finite floats canonicalise to null on render.
+        if let JsonValue::Object(fields) = &mut expect {
+            fields[2].1 = JsonValue::Null;
+        }
+        assert_eq!(JsonValue::parse(&compact), Ok(expect));
+    }
+
+    #[test]
+    fn registry_records_sketches_and_reservoirs() {
+        let mut reg = MetricsRegistry::new();
+        let mut s = reg.scoped("server");
+        for i in 1..=100u32 {
+            s.sketch_record("latency", f64::from(i), 0.01);
+            s.reservoir_offer("sessions", u64::from(i), f64::from(i) * 0.5, 8, 42);
+        }
+        let Some(Metric::Sketch(sk)) = reg.get("server/latency") else {
+            panic!("sketch not recorded");
+        };
+        assert_eq!(sk.count(), 100);
+        let Some(Metric::Reservoir(r)) = reg.get("server/sessions") else {
+            panic!("reservoir not recorded");
+        };
+        assert_eq!((r.len(), r.offered()), (8, 100));
+        let json = reg.to_json().render();
+        assert!(json.contains("\"type\": \"sketch\""));
+        assert!(json.contains("\"type\": \"reservoir\""));
+    }
+
+    /// The `parallel_merge_equals_sequential` contract extended to the
+    /// two streaming-aggregate metric kinds.
+    #[test]
+    fn sketch_and_reservoir_metrics_merge_like_sequential() {
+        let record = |reg: &mut MetricsRegistry, jobs: std::ops::Range<u64>| {
+            for j in jobs {
+                reg.sketch_record("lat", (j % 17) as f64 - 4.0, 0.02);
+                reg.reservoir_offer("ids", j, j as f64, 6, 9);
+            }
+        };
+        let mut sequential = MetricsRegistry::new();
+        record(&mut sequential, 0..200);
+        let mut merged = MetricsRegistry::new();
+        for w in 0..4u64 {
+            let mut shard = MetricsRegistry::new();
+            record(&mut shard, (w * 50)..((w + 1) * 50));
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.to_json().render(), sequential.to_json().render());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a sketch")]
+    fn sketch_type_confusion_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("x", 1);
+        reg.sketch_record("x", 1.0, 0.01);
     }
 
     #[test]

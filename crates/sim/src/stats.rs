@@ -352,7 +352,10 @@ impl Histogram {
         self.bins.iter().map(|&c| c as f64 / n as f64).collect()
     }
 
-    /// Approximate `q`-quantile (by bin upper edge) over in-range samples.
+    /// Approximate `q`-quantile over in-range samples, interpolated
+    /// linearly within the crossing bin (samples are assumed uniform
+    /// within a bin — the same model [`Histogram::ccdf`] uses, so
+    /// `ccdf(quantile(q)) ≈ 1 - q` on in-range mass).
     ///
     /// Returns `None` if no in-range samples were recorded or `q` is
     /// outside `[0, 1]`.
@@ -365,14 +368,21 @@ impl Histogram {
         if n == 0 {
             return None;
         }
-        let target = (q * n as f64).ceil().max(1.0) as u64;
+        let target = q * n as f64;
         let w = (self.hi - self.lo) / self.bins.len() as f64;
-        let mut cum = 0;
+        let mut cum = 0.0;
         for (i, &c) in self.bins.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                return Some(self.lo + w * (i as f64 + 1.0));
+            if c == 0 {
+                continue;
             }
+            let c = c as f64;
+            if cum + c >= target {
+                let lo_edge = self.lo + w * i as f64;
+                // q = 0 (or a target landing exactly on the previous
+                // bin boundary) pins to this bin's lower edge.
+                return Some(lo_edge + w * ((target - cum).max(0.0) / c).min(1.0));
+            }
+            cum += c;
         }
         Some(self.hi)
     }
@@ -617,6 +627,53 @@ mod tests {
         assert!(q1 <= q2 && q2 <= q3);
         assert!(h.quantile(1.5).is_none());
         assert!(Histogram::new(0.0, 1.0, 2).quantile(0.5).is_none());
+    }
+
+    /// Regression: `quantile` used to return the crossing bin's *upper
+    /// edge* while `ccdf` interpolates within the bin, so the two
+    /// disagreed by up to a full bin width (`ccdf(quantile(0.25))` gave
+    /// 0.70, not 0.75, on this histogram). This test fails on the
+    /// pre-fix code.
+    #[test]
+    fn histogram_quantile_interpolates_within_the_crossing_bin() {
+        // 10 bins over [0, 100), 10 samples each: the interpolated CDF
+        // is exactly linear, so quantiles are exact.
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.record(f64::from(i));
+        }
+        assert_eq!(h.quantile(0.25), Some(25.0)); // pre-fix: 30.0
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.95), Some(95.0));
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        // The two views of the same distribution must agree.
+        for q in [0.1, 0.25, 0.33, 0.5, 0.75, 0.9] {
+            let x = h.quantile(q).expect("non-empty");
+            assert!(
+                (h.ccdf(x) - (1.0 - q)).abs() < 1e-9,
+                "ccdf(quantile({q})) = {} != {}",
+                h.ccdf(x),
+                1.0 - q
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_skips_empty_bins() {
+        // Mass only in bins [0,1) and [3,4): the quantile must never
+        // land inside the empty gap's interior.
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for _ in 0..5 {
+            h.record(0.5);
+            h.record(3.5);
+        }
+        assert_eq!(h.quantile(0.25), Some(0.5));
+        // target = 5 lands exactly on the first bin's full mass: its
+        // upper edge, not somewhere in the empty bins.
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.75), Some(3.5));
+        assert_eq!(h.quantile(1.0), Some(4.0));
     }
 
     #[test]

@@ -28,8 +28,11 @@ struct CanonicalJson {
     depth: u32,
 }
 
-/// Characters the string generator draws from: JSON escapes, a raw
-/// control character, multi-byte UTF-8, and plain ASCII.
+/// Characters the string generator draws from: JSON escapes, control
+/// characters spanning U+0000–U+001F (all must render as `\u00XX`
+/// escapes and parse back exactly), multi-byte UTF-8 — including an
+/// astral character, which the parser must reassemble from a `\u`
+/// surrogate pair — and plain ASCII.
 const PALETTE: &[char] = &[
     '"',
     '\\',
@@ -38,7 +41,10 @@ const PALETTE: &[char] = &[
     '\t',
     '\u{0008}',
     '\u{000c}',
+    '\u{0000}',
     '\u{0001}',
+    '\u{000b}',
+    '\u{001f}',
     '/',
     ' ',
     'a',

@@ -133,6 +133,30 @@ proptest! {
         }
     }
 
+    /// Quantile and ccdf are inverse views of the same interpolated
+    /// distribution: on in-range-only data, ccdf(quantile(q)) == 1 - q
+    /// up to float error. (Regression companion to the quantile
+    /// upper-edge bugfix — the pre-fix quantile was off by up to a
+    /// full bin width.)
+    #[test]
+    fn histogram_quantile_ccdf_consistent(
+        data in proptest::collection::vec(0.0f64..100.0, 10..200),
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &x in &data {
+            h.record(x);
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let x = h.quantile(q).expect("non-empty");
+            prop_assert!((0.0..=100.0).contains(&x));
+            let c = h.ccdf(x);
+            prop_assert!(
+                (c - (1.0 - q)).abs() < 1e-9,
+                "q = {q}: quantile = {x}, ccdf = {c}"
+            );
+        }
+    }
+
     /// Autocorrelation values always lie in [-1, 1].
     #[test]
     fn autocorrelation_bounded(data in proptest::collection::vec(-100.0f64..100.0, 4..200)) {

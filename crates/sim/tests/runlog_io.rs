@@ -1,0 +1,133 @@
+//! Crash-safety tests for the JSONL-chunked run-log format.
+//!
+//! The writer is append-only and writes `MANIFEST.json` last, so the
+//! only damage a crash can leave is a missing manifest and (at worst)
+//! one torn final line. These tests simulate exactly those states and
+//! check the reader's contract: earlier chunks parse cleanly, the torn
+//! tail is detected and reported — never silently dropped, never a
+//! parse error for the intact majority.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dms_sim::{JsonValue, MetricsRegistry, RunLogReader, RunLogWriter, RunRecord, TailState};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dms-runlog-crash-{tag}-{}", std::process::id()))
+}
+
+/// Writes a finished run-log with `n` records in chunks of 4.
+fn write_log(dir: &PathBuf, n: u64) {
+    let mut w = RunLogWriter::create(dir)
+        .expect("create")
+        .with_chunk_records(4)
+        .with_buffer_bytes(1); // flush every record: worst-case tearing
+    w.set_meta("experiment", "crash");
+    for i in 0..n {
+        w.record(&RunRecord::new("row").at(i).with("value", i))
+            .expect("record");
+    }
+    w.finish(&MetricsRegistry::new()).expect("finish");
+}
+
+#[test]
+fn truncated_final_chunk_is_detected_and_earlier_chunks_parse() {
+    let dir = temp_dir("torn-tail");
+    write_log(&dir, 10); // chunks of 4,4,2
+
+    // Simulate the crash: kill the clean-close marker and metrics,
+    // then tear the final chunk mid-line.
+    fs::remove_file(dir.join("MANIFEST.json")).expect("rm manifest");
+    fs::remove_file(dir.join("metrics.json")).expect("rm metrics");
+    let last = dir.join("chunk-00002.jsonl");
+    let bytes = fs::read(&last).expect("read last chunk");
+    fs::write(&last, &bytes[..bytes.len() - 7]).expect("tear last line");
+
+    let scan = RunLogReader::open(&dir)
+        .expect("open")
+        .read_all()
+        .expect("scan");
+    assert!(!scan.clean_close);
+    assert_eq!(
+        scan.tail,
+        TailState::TruncatedTail {
+            chunk: "chunk-00002.jsonl".to_string(),
+            complete_records: 9,
+        }
+    );
+    // Every surviving record is intact and in order.
+    assert_eq!(scan.records.len(), 9);
+    for (i, r) in scan.records.iter().enumerate() {
+        assert_eq!(r.get("slot").and_then(JsonValue::as_f64), Some(i as f64));
+    }
+    assert_eq!(scan.metrics, None);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn missing_manifest_with_whole_lines_is_flagged_not_fatal() {
+    let dir = temp_dir("no-manifest");
+    write_log(&dir, 8);
+    fs::remove_file(dir.join("MANIFEST.json")).expect("rm manifest");
+
+    let scan = RunLogReader::open(&dir)
+        .expect("open")
+        .read_all()
+        .expect("scan");
+    assert!(!scan.clean_close);
+    assert_eq!(scan.tail, TailState::MissingManifest);
+    assert_eq!(scan.records.len(), 8, "all whole lines recovered");
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn manifest_counts_must_match_the_chunks() {
+    let dir = temp_dir("stale-manifest");
+    write_log(&dir, 8);
+    // A manifest from some earlier, different run: right format, wrong
+    // counts. The log must not be reported clean.
+    fs::write(
+        dir.join("MANIFEST.json"),
+        "{\n  \"format\": \"dms-runlog/1\",\n  \"chunks\": 1,\n  \"records\": 3,\n  \"chunk_records\": 4\n}\n",
+    )
+    .expect("stale manifest");
+    let scan = RunLogReader::open(&dir)
+        .expect("open")
+        .read_all()
+        .expect("scan");
+    assert!(!scan.clean_close);
+    assert_eq!(scan.tail, TailState::MissingManifest);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn torn_line_mid_stream_is_a_hard_error() {
+    let dir = temp_dir("mid-stream");
+    write_log(&dir, 10);
+    // Corruption the append-only writer cannot produce: a torn line in
+    // a non-final chunk. This must be an error, not a silent skip.
+    let middle = dir.join("chunk-00001.jsonl");
+    let bytes = fs::read(&middle).expect("read middle chunk");
+    fs::write(&middle, &bytes[..bytes.len() - 3]).expect("tear middle chunk");
+
+    let err = RunLogReader::open(&dir)
+        .expect("open")
+        .read_all()
+        .expect_err("corruption must not pass silently");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn empty_run_log_reads_back_clean() {
+    let dir = temp_dir("empty");
+    let w = RunLogWriter::create(&dir).expect("create");
+    w.finish(&MetricsRegistry::new()).expect("finish");
+    let scan = RunLogReader::open(&dir)
+        .expect("open")
+        .read_all()
+        .expect("scan");
+    assert!(scan.clean_close);
+    assert_eq!(scan.records.len(), 0);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -12,10 +12,15 @@
 //! git diff tests/golden/
 //! ```
 //!
-//! Two snapshots, chosen for coverage-per-byte:
+//! Three snapshots, chosen for coverage-per-byte:
 //!
 //! * `E10.json` — the steady-state experiment's full run-log, the
 //!   oldest table in the suite (analysis + simulation agreement);
+//! * `E10.jsonl` — the same run-log streamed through the chunked
+//!   [`dms_sim::RunLogWriter`] (two records per chunk, so rotation is
+//!   on the golden path) and re-concatenated: the canonical compact
+//!   single-line rendering every streamed run-log directory is made
+//!   of;
 //! * `E14_n2_jsq_crash.json` — a single E14 cluster point (two skewed
 //!   shards, join-shortest-queue, one shard crashing mid-run), built
 //!   through the same export path as `e14_run_log`, so it exercises
@@ -28,7 +33,7 @@ use dms_bench::{
     e10_steady_state, e14_recovered_fraction, e14_run_point_instrumented, run_log_for, E14Point,
 };
 use dms_cluster::BalancerPolicy;
-use dms_sim::{RunLog, RunRecord};
+use dms_sim::{RunLog, RunLogReader, RunLogWriter, RunRecord, TailState};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -41,9 +46,13 @@ fn golden_path(name: &str) -> PathBuf {
 fn assert_matches_golden(log: &RunLog, name: &str) {
     let mut rendered = log.to_json_string();
     rendered.push('\n');
+    assert_bytes_match_golden(&rendered, name);
+}
+
+fn assert_bytes_match_golden(rendered: &str, name: &str) {
     let path = golden_path(name);
     if std::env::var_os("GOLDEN_REGEN").is_some() {
-        std::fs::write(&path, &rendered).expect("write golden file");
+        std::fs::write(&path, rendered).expect("write golden file");
         return;
     }
     let golden = std::fs::read_to_string(&path).unwrap_or_else(|err| {
@@ -104,6 +113,36 @@ fn e14_point_log(point: E14Point) -> RunLog {
 #[test]
 fn e10_run_log_matches_golden() {
     assert_matches_golden(&run_log_for(&e10_steady_state()), "E10.json");
+}
+
+#[test]
+fn e10_streamed_jsonl_chunks_match_golden() {
+    let log = run_log_for(&e10_steady_state());
+    let dir = std::env::temp_dir().join(format!("dms_golden_jsonl_{}", std::process::id()));
+    let mut writer = RunLogWriter::create(&dir)
+        .expect("create run-log dir")
+        .with_chunk_records(2);
+    for (key, value) in log.meta_entries() {
+        writer.set_meta(key, value);
+    }
+    for record in log.records() {
+        writer.record(record).expect("write record");
+    }
+    writer.finish(log.registry()).expect("close run-log");
+    let reader = RunLogReader::open(&dir).expect("open run-log dir");
+    let mut chunks = String::new();
+    for name in reader.chunk_files() {
+        chunks.push_str(&std::fs::read_to_string(dir.join(name)).expect("read chunk"));
+    }
+    // Rotation must actually be on the golden path (3 records, 2 per
+    // chunk), and the writer must have closed cleanly.
+    assert!(reader.chunk_files().len() > 1, "golden must span chunks");
+    assert!(matches!(
+        reader.for_each_record(|_| {}).expect("records parse"),
+        TailState::Clean
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    assert_bytes_match_golden(&chunks, "E10.jsonl");
 }
 
 #[test]
