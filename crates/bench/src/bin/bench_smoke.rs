@@ -41,7 +41,7 @@ fn main() {
     // Per-experiment timings, isolated: sequential inside and out
     // (DMS_THREADS=1), so the numbers are comparable across machines.
     std::env::set_var("DMS_THREADS", "1");
-    const EXPERIMENTS: [fn() -> Experiment; 21] = [
+    const EXPERIMENTS: [fn() -> Experiment; 22] = [
         dms_bench::fig1_stream,
         dms_bench::fig2_design_flow,
         dms_bench::e1_asip_speedup,
@@ -59,6 +59,7 @@ fn main() {
         dms_bench::e13_resilience,
         dms_bench::e14_scale_out,
         dms_bench::e15_mega_scale,
+        dms_bench::e16_geo_tiered,
         dms_bench::x1_lip_sync,
         dms_bench::x2_ctmc_transient,
         dms_bench::x3_mapped_validation,
@@ -155,6 +156,30 @@ fn main() {
             r.rejected()
         );
         e14_points_timed.push((point.label(), secs));
+    }
+
+    // E16 geo-tiered points: the full end-to-end composition (Zipf
+    // cache pass + origin predictor + region fleets + wireless/mesh
+    // last hop), tiered vs flat arm at every swept load. DMS_THREADS=1
+    // (still set) keeps the nested region fan-out serial so the
+    // numbers are per-core costs.
+    println!("\nE16 geo-tiered points:");
+    let mut e16_points_timed: Vec<(String, f64)> = Vec::new();
+    for point in dms_bench::e16_points() {
+        let mut report = None;
+        let secs = seconds_of(|| {
+            report = Some(dms_bench::e16_run_point(point));
+        });
+        let r = report.expect("point ran");
+        println!(
+            "  {:<12} {:6.3} s  hit {:4.1}%  origin rho {:.2}  delivered utility {:9.0}",
+            point.label(),
+            secs,
+            r.hit_ratio() * 100.0,
+            r.origin_load(),
+            r.delivered_utility()
+        );
+        e16_points_timed.push((point.label(), secs));
     }
 
     // E15 mega-scale sweep: sessions/sec/core and peak RSS at
@@ -335,6 +360,9 @@ fn main() {
     for (label, secs) in &e14_points_timed {
         registry.gauge_set(&format!("e14/{label}/seconds"), *secs);
     }
+    for (label, secs) in &e16_points_timed {
+        registry.gauge_set(&format!("e16/{label}/seconds"), *secs);
+    }
     for t in &e15_timed {
         let mut s = registry.scoped(&format!("e15/{}", t.label));
         s.gauge_set("seconds", t.seconds);
@@ -429,6 +457,20 @@ fn main() {
             "e14_scale_out_points".to_string(),
             JsonValue::Array(
                 e14_points_timed
+                    .iter()
+                    .map(|(label, secs)| {
+                        JsonValue::Object(vec![
+                            ("point".to_string(), JsonValue::from(label.as_str())),
+                            ("seconds".to_string(), JsonValue::Float(*secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "e16_tier_points".to_string(),
+            JsonValue::Array(
+                e16_points_timed
                     .iter()
                     .map(|(label, secs)| {
                         JsonValue::Object(vec![

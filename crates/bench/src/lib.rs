@@ -819,6 +819,7 @@ pub fn run_log_for(exp: &Experiment) -> RunLog {
         "E13" => e13_run_log(),
         "E14" => e14_run_log(),
         "E15" => e15_run_log(),
+        "E16" => e16_run_log(),
         _ => RunLog::new(),
     };
     log.set_meta("experiment", exp.id);
@@ -2189,6 +2190,379 @@ pub fn e15_mega_scale() -> Experiment {
     }
 }
 
+// ---------------------------------------------------------------------
+// E16 — geo-tiered delivery: the whole workspace composed end to end.
+// Per-region edge fleets (dms-cluster) front one shared origin uplink
+// guarded by the M/M/1/K predictor (dms-serve); content popularity is
+// Zipf with hot-set churn; arrivals are flash-crowd-spiked diurnal
+// self-similar processes; the last hop is device-class aware with
+// dms-wireless / dms-manet energy and dms-media FGS layer ceilings.
+// ---------------------------------------------------------------------
+
+/// Horizon of one E16 run — one diurnal cycle.
+const E16_SLOTS: u64 = 600;
+
+/// Mean session holding time, slots.
+const E16_DURATION_SLOTS: f64 = 120.0;
+
+/// Edge regions of the tiered arm (timezone-shifted diurnal phases).
+const E16_REGIONS: usize = 3;
+
+/// Shards per region fleet; the flat arm gets all
+/// `E16_REGIONS × E16_SHARDS_PER_REGION` shards in one central fleet.
+const E16_SHARDS_PER_REGION: usize = 2;
+
+/// Full-quality concurrent sessions one shard's link carries.
+const E16_SHARD_SESSIONS: u64 = 110;
+
+/// Concurrent full-quality sessions the shared origin uplink carries —
+/// deliberately less than half the fleet, so a flat arm that drags
+/// *every* session through the origin starves while the tiered arm's
+/// cache hits bypass it.
+const E16_ORIGIN_SESSIONS: u64 = 300;
+
+/// Offered loads swept, relative to total fleet capacity (pre-spike).
+pub const E16_LOADS: [f64; 3] = [0.6, 0.9, 1.2];
+
+/// Content catalog size.
+const E16_CATALOG: u64 = 2_000;
+
+/// Zipf popularity exponent.
+const E16_ZIPF: f64 = 1.1;
+
+/// Hot-set churn period, slots (4 rotations per run).
+const E16_CHURN_PERIOD: u64 = 150;
+
+/// Rank→id rotation stride per churn epoch.
+const E16_CHURN_STRIDE: u64 = 211;
+
+/// LRU items per region cache (~13% of the catalog).
+const E16_CACHE_ITEMS: usize = 256;
+
+/// Master seed of the sweep.
+const E16_SEED: u64 = 1601;
+
+/// Which fleet layout serves an E16 point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum E16Arm {
+    /// Per-region edge fleets with LRU caches fronting the origin.
+    Tiered,
+    /// One central fleet of the same total capacity, no caches, every
+    /// session fetched through the origin, far last hop.
+    Flat,
+}
+
+impl E16Arm {
+    /// Stable label used in point names and the timing JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            E16Arm::Tiered => "tiered",
+            E16Arm::Flat => "flat",
+        }
+    }
+}
+
+/// One point of the E16 grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E16Point {
+    /// Fleet layout.
+    pub arm: E16Arm,
+    /// Offered load relative to total fleet capacity (pre-spike).
+    pub load: f64,
+}
+
+impl E16Point {
+    /// Stable point label, e.g. `tiered-0.9`.
+    #[must_use]
+    pub fn label(self) -> String {
+        format!("{}-{:.1}", self.arm.label(), self.load)
+    }
+}
+
+/// The full E16 grid: every load × both arms.
+#[must_use]
+pub fn e16_points() -> Vec<E16Point> {
+    let mut points = Vec::new();
+    for &load in &E16_LOADS {
+        for &arm in &[E16Arm::Tiered, E16Arm::Flat] {
+            points.push(E16Point { arm, load });
+        }
+    }
+    points
+}
+
+fn e16_template() -> SessionTemplate {
+    let mut template = SessionTemplate::streaming_default().expect("preset valid");
+    template.mean_duration_slots = E16_DURATION_SLOTS;
+    template
+}
+
+fn e16_fleet(shards: usize, template: &SessionTemplate, seed: u64) -> ClusterConfig {
+    let shard = ServerConfig {
+        capacity: CapacityModel {
+            link_bits_per_slot: E16_SHARD_SESSIONS * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        },
+        policy: AdmissionPolicy::QueuePredictor,
+        degrade: Some(DegradeConfig::default()),
+        buffer_slots: 8,
+        miss_slots: 4,
+    };
+    ClusterConfig {
+        shards: vec![shard; shards],
+        balancer: BalancerPolicy::JoinShortestQueue,
+        recovery: RecoveryConfig::default(),
+        seed,
+    }
+}
+
+/// Per-region arrival process at `load`: the region's equal share of
+/// the fleet-wide rate, diurnal-shifted by a third of a cycle per
+/// region, with a 2.5× flash crowd for 30 slots every 300.
+fn e16_arrivals(load: f64, region: usize, template: &SessionTemplate) -> ArrivalProcess {
+    let total_capacity =
+        (E16_REGIONS * E16_SHARDS_PER_REGION) as u64 * E16_SHARD_SESSIONS * template.full_bits();
+    let rate = rate_for_load(load, template, total_capacity) / E16_REGIONS as f64;
+    ArrivalProcess::FlashCrowd {
+        rate,
+        hurst: 0.8,
+        burstiness: 0.6,
+        diurnal_depth: 0.4,
+        diurnal_period_slots: E16_SLOTS,
+        diurnal_phase_slots: region as u64 * (E16_SLOTS / E16_REGIONS as u64),
+        spike_factor: 2.5,
+        spike_period_slots: 300,
+        spike_slots: 30,
+    }
+}
+
+fn e16_content() -> dms_cluster::ContentModel {
+    dms_cluster::ContentModel {
+        catalog_size: E16_CATALOG,
+        zipf_exponent: E16_ZIPF,
+        churn_period_slots: E16_CHURN_PERIOD,
+        churn_stride: E16_CHURN_STRIDE,
+    }
+}
+
+fn e16_origin(template: &SessionTemplate) -> CapacityModel {
+    CapacityModel {
+        link_bits_per_slot: E16_ORIGIN_SESSIONS * template.full_bits(),
+        queue_frames: 64,
+        occupancy_bound: 8.0,
+    }
+}
+
+/// The tiered arm's configuration at `load`.
+#[must_use]
+pub fn e16_tiered_config(load: f64) -> dms_cluster::TieredConfig {
+    let template = e16_template();
+    let regions = (0..E16_REGIONS)
+        .map(|r| dms_cluster::RegionConfig {
+            fleet: e16_fleet(E16_SHARDS_PER_REGION, &template, E16_SEED + 10 + r as u64),
+            arrivals: e16_arrivals(load, r, &template),
+            cache_items: E16_CACHE_ITEMS,
+            proximate: true,
+        })
+        .collect();
+    dms_cluster::TieredConfig {
+        regions,
+        template,
+        slots: E16_SLOTS,
+        content: e16_content(),
+        origin: e16_origin(&template),
+        classes: dms_cluster::ClassMix::streaming_default(&template),
+        energy: dms_cluster::LastHopEnergy::derive(E16_SEED).expect("derivable"),
+        seed: E16_SEED,
+    }
+}
+
+/// The flat single-tier baseline at `load`: one central fleet with the
+/// same total shard capacity, no caches (every session fetches through
+/// the origin), and the far last hop. It is offered the *same merged
+/// sessions and content draws* the tiered arm splits across regions.
+#[must_use]
+pub fn e16_flat_config(load: f64) -> dms_cluster::TieredConfig {
+    let template = e16_template();
+    dms_cluster::TieredConfig {
+        regions: vec![dms_cluster::RegionConfig {
+            fleet: e16_fleet(
+                E16_REGIONS * E16_SHARDS_PER_REGION,
+                &template,
+                E16_SEED + 10,
+            ),
+            // Placeholder process (run_on supplies the merged
+            // workload): the fleet-wide rate with region 0's phase.
+            arrivals: e16_arrivals(load, 0, &template),
+            cache_items: 0,
+            proximate: false,
+        }],
+        template,
+        slots: E16_SLOTS,
+        content: e16_content(),
+        origin: e16_origin(&template),
+        classes: dms_cluster::ClassMix::streaming_default(&template),
+        energy: dms_cluster::LastHopEnergy::derive(E16_SEED).expect("derivable"),
+        seed: E16_SEED,
+    }
+}
+
+/// Runs one E16 point. Both arms are offered byte-identical sessions
+/// and content/class draws — generated once from the tiered config,
+/// merged in cache-pass order for the flat arm — so every comparison
+/// is at exactly equal offered load.
+#[must_use]
+pub fn e16_run_point(point: E16Point) -> dms_cluster::TieredReport {
+    let tiered = dms_cluster::TieredSim::new(e16_tiered_config(point.load)).expect("valid config");
+    let (workloads, draws) = tiered.generate().expect("valid workloads");
+    match point.arm {
+        E16Arm::Tiered => tiered.run_on(&workloads, &draws).expect("tiered run"),
+        E16Arm::Flat => {
+            let flat =
+                dms_cluster::TieredSim::new(e16_flat_config(point.load)).expect("valid config");
+            let (merged, merged_draws) = dms_cluster::merge_regions(
+                &workloads,
+                &draws,
+                tiered.config().template,
+                tiered.config().slots,
+            );
+            flat.run_on(&[merged], &[merged_draws]).expect("flat run")
+        }
+    }
+}
+
+/// Builds the E16 run-log: one record and one metrics scope per grid
+/// point, the per-slot origin-occupancy series for the headline
+/// tiered point, and the cache-hit-ratio vs origin-load curve.
+#[must_use]
+pub fn e16_run_log() -> RunLog {
+    let points = e16_points();
+    let results: Vec<(dms_cluster::TieredReport, MetricsRegistry)> =
+        ParRunner::new().map(&points, |&point| {
+            let report = e16_run_point(point);
+            let mut registry = MetricsRegistry::new();
+            let scope = format!("e16/{}", point.label());
+            report.export(&mut registry, &scope);
+            if point.arm == E16Arm::Tiered && (point.load - E16_LOADS[2]).abs() < 1e-9 {
+                registry.series_extend(
+                    &format!("{scope}/origin_active_bits"),
+                    report.origin_series.iter().copied(),
+                );
+            }
+            (report, registry)
+        });
+    let mut log = RunLog::new();
+    log.set_meta("experiment", "E16");
+    log.set_meta("slots", E16_SLOTS.to_string());
+    log.set_meta("regions", E16_REGIONS.to_string());
+    log.set_meta("origin_sessions", E16_ORIGIN_SESSIONS.to_string());
+    for (point, (report, registry)) in points.iter().zip(&results) {
+        log.registry_mut().merge(registry);
+        log.push(
+            RunRecord::new("e16-point")
+                .with("label", point.label())
+                .with("arm", point.arm.label())
+                .with("load", point.load)
+                .with("offered", report.offered())
+                .with("edge_hits", report.edge_hits())
+                .with("origin_fetches", report.origin_fetches())
+                .with("origin_rejected", report.origin_rejected())
+                .with("hit_ratio", report.hit_ratio())
+                .with("origin_load", report.origin_load())
+                .with("miss_rate", report.miss_rate())
+                .with("mean_utility", report.mean_utility())
+                .with("delivered_utility", report.delivered_utility())
+                .with("energy_j", report.total_energy_j())
+                .with("energy_j_per_bit", report.energy_per_bit()),
+        );
+    }
+    log
+}
+
+/// E16 — geo-tiered delivery vs a flat single-tier fleet at equal
+/// offered load: the tiered arm's cache hits bypass the shared origin
+/// bottleneck (more sessions served → more delivered utility) and its
+/// client-proximate last hop is cheaper per bit; the cache-hit-ratio
+/// vs origin-load curve quantifies how caching unloads the uplink.
+#[must_use]
+pub fn e16_geo_tiered() -> Experiment {
+    let points = e16_points();
+    let reports = ParRunner::new().map(&points, |&p| e16_run_point(p));
+    let find = |arm: E16Arm, load: f64| -> &dms_cluster::TieredReport {
+        points
+            .iter()
+            .position(|p| p.arm == arm && (p.load - load).abs() < 1e-9)
+            .map(|i| &reports[i])
+            .expect("point is on the grid")
+    };
+    let peak = E16_LOADS[2];
+    let tiered = find(E16Arm::Tiered, peak);
+    let flat = find(E16Arm::Flat, peak);
+    let mut rows = vec![
+        Row::new(
+            format!("offered sessions at {peak}x (tiered == flat)"),
+            "identical workload both arms",
+            format!(
+                "{} == {} ({})",
+                tiered.offered(),
+                flat.offered(),
+                tiered.offered() == flat.offered()
+            ),
+        ),
+        Row::new(
+            format!("sessions lost at the origin at {peak}x, tiered vs flat"),
+            "caching rescues most of the flash crowd",
+            format!(
+                "{} ({:.0}%) vs {} ({:.0}%)",
+                tiered.origin_rejected(),
+                tiered.origin_rejected() as f64 / tiered.offered() as f64 * 100.0,
+                flat.origin_rejected(),
+                flat.origin_rejected() as f64 / flat.offered() as f64 * 100.0
+            ),
+        ),
+        Row::new(
+            format!("delivered utility at {peak}x, tiered vs flat"),
+            "tiered wins on volume served",
+            format!(
+                "{:.0} vs {:.0} ({:.2}x)",
+                tiered.delivered_utility(),
+                flat.delivered_utility(),
+                tiered.delivered_utility() / flat.delivered_utility()
+            ),
+        ),
+        Row::new(
+            format!("last-hop energy per delivered bit at {peak}x, tiered vs flat"),
+            "edge proximity + transit bypass are cheaper",
+            format!(
+                "{:.2} vs {:.2} nJ/bit ({:.0}% saved)",
+                tiered.energy_per_bit() * 1e9,
+                flat.energy_per_bit() * 1e9,
+                (1.0 - tiered.energy_per_bit() / flat.energy_per_bit()) * 100.0
+            ),
+        ),
+    ];
+    for &load in &E16_LOADS {
+        let t = find(E16Arm::Tiered, load);
+        rows.push(Row::new(
+            format!("cache-hit ratio vs origin load at {load}x"),
+            "hits rise with load; origin stays below the flat arm",
+            format!(
+                "{:.0}% hit -> origin rho {:.2} (flat rho {:.2})",
+                t.hit_ratio() * 100.0,
+                t.origin_load(),
+                find(E16Arm::Flat, load).origin_load()
+            ),
+        ));
+    }
+    Experiment {
+        id: "E16",
+        title: "Geo-tiered delivery: edge fleets + origin vs one flat fleet (S2.2, S4)",
+        rows,
+    }
+}
+
 /// X1 — lip synchronisation (extension; §2.1's temporal relationship,
 /// not a numbered claim of the paper).
 #[must_use]
@@ -2362,7 +2736,7 @@ pub fn x4_arq_packet_size() -> Experiment {
 /// (`DMS_THREADS=1` forces that loop back).
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {
-    const EXPERIMENTS: [fn() -> Experiment; 21] = [
+    const EXPERIMENTS: [fn() -> Experiment; 22] = [
         fig1_stream,
         fig2_design_flow,
         e1_asip_speedup,
@@ -2380,6 +2754,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         e13_resilience,
         e14_scale_out,
         e15_mega_scale,
+        e16_geo_tiered,
         x1_lip_sync,
         x2_ctmc_transient,
         x3_mapped_validation,
@@ -2582,6 +2957,48 @@ mod tests {
         assert!(
             jsq_crash.dispatch.rerouted > 0,
             "E14: no sessions re-routed off the dead shard"
+        );
+
+        // E16: at the overload point the tiered arm beats the flat
+        // single-tier fleet on delivered utility AND last-hop energy
+        // per bit at equal offered load, its caches absorb a healthy
+        // hit ratio, and it keeps the origin cooler than the flat arm.
+        let peak = E16_LOADS[2];
+        let tiered = e16_run_point(E16Point {
+            arm: E16Arm::Tiered,
+            load: peak,
+        });
+        let flat = e16_run_point(E16Point {
+            arm: E16Arm::Flat,
+            load: peak,
+        });
+        assert_eq!(
+            tiered.offered(),
+            flat.offered(),
+            "E16: the arms must see identical offered load"
+        );
+        assert!(
+            tiered.delivered_utility() >= 1.2 * flat.delivered_utility(),
+            "E16: tiered delivered utility {} not 1.2x flat {}",
+            tiered.delivered_utility(),
+            flat.delivered_utility()
+        );
+        assert!(
+            tiered.energy_per_bit() < flat.energy_per_bit(),
+            "E16: tiered energy/bit {} not below flat {}",
+            tiered.energy_per_bit(),
+            flat.energy_per_bit()
+        );
+        assert!(
+            tiered.hit_ratio() > 0.3,
+            "E16: hit ratio {} too cold",
+            tiered.hit_ratio()
+        );
+        assert!(
+            tiered.origin_load() < flat.origin_load(),
+            "E16: tiered origin load {} not below flat {}",
+            tiered.origin_load(),
+            flat.origin_load()
         );
 
         // E9: battery-cost routing improves lifetime by >20%.

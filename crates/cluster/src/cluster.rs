@@ -34,7 +34,7 @@ use crate::endpoint::FleetEndpoint;
 
 /// Cluster-wide configuration: the shard replicas plus the balancer
 /// that fronts them.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// One server configuration per shard. Capacities may differ —
     /// heterogeneous fleets are exactly where balancer choice matters.

@@ -32,9 +32,14 @@
 pub mod balancer;
 pub mod cluster;
 pub mod endpoint;
+pub mod tiers;
 
 pub use balancer::BalancerPolicy;
 pub use cluster::{
     aggregate_utility, ClusterConfig, ClusterReport, ClusterSim, DispatchReport, ShardFault,
 };
 pub use endpoint::{FleetEndpoint, FleetVerdict, OfferOutcome};
+pub use tiers::{
+    merge_regions, ClassMix, ClassReport, ContentModel, DeviceClass, LastHopEnergy, RegionConfig,
+    RegionReport, SessionDraw, TieredConfig, TieredReport, TieredSim, ZipfSampler,
+};

@@ -49,14 +49,83 @@ pub enum ArrivalProcess {
         /// Std-dev of per-slot arrivals as a multiple of `rate`.
         burstiness: f64,
     },
+    /// The E16 geo-tiered load: the [`ArrivalProcess::SelfSimilar`]
+    /// process shaped by a deterministic diurnal envelope with
+    /// superimposed flash-crowd spikes. Slot `t`'s instantaneous rate
+    /// is `rate · diurnal(t) · spike(t)` where
+    /// `diurnal(t) = 1 + diurnal_depth · sin(2π (t + diurnal_phase_slots) / diurnal_period_slots)`
+    /// and `spike(t) = spike_factor` while
+    /// `t mod spike_period_slots < spike_slots`, `1` otherwise. The
+    /// envelope is pure arithmetic — it draws no randomness — so the
+    /// variant consumes exactly the same rng stream as `SelfSimilar`
+    /// and stays byte-deterministic at any thread count.
+    FlashCrowd {
+        /// Mean arrivals per slot *before* envelope shaping.
+        rate: f64,
+        /// Hurst parameter in `(0, 1)`; `> 0.5` is LRD.
+        hurst: f64,
+        /// Std-dev of per-slot arrivals as a multiple of `rate`.
+        burstiness: f64,
+        /// Diurnal modulation depth in `[0, 1)`.
+        diurnal_depth: f64,
+        /// Diurnal cycle length, slots (`> 0`).
+        diurnal_period_slots: u64,
+        /// Phase offset into the diurnal cycle, slots (per-region
+        /// timezone shift).
+        diurnal_phase_slots: u64,
+        /// Rate multiplier while a flash crowd is active (`≥ 1`).
+        spike_factor: f64,
+        /// Flash-crowd recurrence period, slots (`> 0`).
+        spike_period_slots: u64,
+        /// Flash-crowd duration at the start of each period, slots
+        /// (`≤ spike_period_slots`).
+        spike_slots: u64,
+    },
+}
+
+/// The deterministic rate envelope of [`ArrivalProcess::FlashCrowd`]
+/// at slot `slot`: diurnal sinusoid times the spike multiplier.
+#[must_use]
+fn flash_envelope(
+    slot: u64,
+    diurnal_depth: f64,
+    diurnal_period_slots: u64,
+    diurnal_phase_slots: u64,
+    spike_factor: f64,
+    spike_period_slots: u64,
+    spike_slots: u64,
+) -> f64 {
+    let phase = (slot + diurnal_phase_slots) % diurnal_period_slots;
+    let diurnal = 1.0
+        + diurnal_depth
+            * (core::f64::consts::TAU * phase as f64 / diurnal_period_slots as f64).sin();
+    let spike = if slot % spike_period_slots < spike_slots {
+        spike_factor
+    } else {
+        1.0
+    };
+    diurnal * spike
 }
 
 impl ArrivalProcess {
-    /// Mean arrivals per slot.
+    /// Mean arrivals per slot. For [`ArrivalProcess::FlashCrowd`] this
+    /// is the *envelope-weighted* mean: the diurnal sinusoid averages
+    /// to one over whole cycles, so only the spike duty cycle inflates
+    /// the base rate.
     #[must_use]
     pub fn rate(&self) -> f64 {
         match *self {
             ArrivalProcess::Poisson { rate } | ArrivalProcess::SelfSimilar { rate, .. } => rate,
+            ArrivalProcess::FlashCrowd {
+                rate,
+                spike_factor,
+                spike_period_slots,
+                spike_slots,
+                ..
+            } => {
+                let duty = spike_slots as f64 / spike_period_slots.max(1) as f64;
+                rate * (1.0 + (spike_factor - 1.0) * duty)
+            }
         }
     }
 
@@ -97,6 +166,58 @@ impl ArrivalProcess {
                     .generate(slots, rng)
                     .into_iter()
                     .map(|z| rate + std_dev * z)
+                    .collect()
+            }
+            ArrivalProcess::FlashCrowd {
+                rate,
+                hurst,
+                burstiness,
+                diurnal_depth,
+                diurnal_period_slots,
+                diurnal_phase_slots,
+                spike_factor,
+                spike_period_slots,
+                spike_slots,
+            } => {
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(ServeError::InvalidParameter("rate"));
+                }
+                if !(burstiness.is_finite() && burstiness > 0.0) {
+                    return Err(ServeError::InvalidParameter("burstiness"));
+                }
+                if !(diurnal_depth.is_finite() && (0.0..1.0).contains(&diurnal_depth)) {
+                    return Err(ServeError::InvalidParameter("diurnal_depth"));
+                }
+                if diurnal_period_slots == 0 {
+                    return Err(ServeError::InvalidParameter("diurnal_period_slots"));
+                }
+                if !(spike_factor.is_finite() && spike_factor >= 1.0) {
+                    return Err(ServeError::InvalidParameter("spike_factor"));
+                }
+                if spike_period_slots == 0 || spike_slots > spike_period_slots {
+                    return Err(ServeError::InvalidParameter("spike_period_slots"));
+                }
+                let std_dev = burstiness * rate;
+                // The envelope multiplies the *whole* shaped series —
+                // noise included — so flash crowds are burstier in
+                // absolute terms, as real crowds are.
+                FractionalGaussianNoise::new(hurst)
+                    .map_err(|_| ServeError::InvalidParameter("hurst"))?
+                    .generate(slots, rng)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(t, z)| {
+                        (rate + std_dev * z)
+                            * flash_envelope(
+                                t as u64,
+                                diurnal_depth,
+                                diurnal_period_slots,
+                                diurnal_phase_slots,
+                                spike_factor,
+                                spike_period_slots,
+                                spike_slots,
+                            )
+                    })
                     .collect()
             }
         };
@@ -450,6 +571,139 @@ mod tests {
                 bias.abs() < tolerance,
                 "burstiness {burstiness}: integerisation bias {bias} vs tolerance {tolerance}"
             );
+        }
+    }
+
+    fn flash_crowd(rate: f64) -> ArrivalProcess {
+        ArrivalProcess::FlashCrowd {
+            rate,
+            hurst: 0.8,
+            burstiness: 0.6,
+            diurnal_depth: 0.4,
+            diurnal_period_slots: 600,
+            diurnal_phase_slots: 0,
+            spike_factor: 2.5,
+            spike_period_slots: 300,
+            spike_slots: 30,
+        }
+    }
+
+    #[test]
+    fn flash_crowd_mean_tracks_envelope_weighted_rate() {
+        let p = flash_crowd(2.0);
+        // Spike duty cycle 30/300 at 2.5x → envelope mean 1.15.
+        assert!((p.rate() - 2.3).abs() < 1e-12, "rate {}", p.rate());
+        let counts = p.counts(30_000, &mut SimRng::new(9)).expect("valid");
+        let mean = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / counts.len() as f64;
+        assert!((mean - p.rate()).abs() < 0.25, "mean {mean}");
+    }
+
+    #[test]
+    fn flash_crowd_spike_slots_are_hotter_than_quiet_slots() {
+        let p = flash_crowd(2.0);
+        let counts = p.counts(30_000, &mut SimRng::new(9)).expect("valid");
+        let (mut spike_sum, mut spike_n, mut quiet_sum, mut quiet_n) = (0.0, 0u64, 0.0, 0u64);
+        for (t, &c) in counts.iter().enumerate() {
+            if (t as u64) % 300 < 30 {
+                spike_sum += f64::from(c);
+                spike_n += 1;
+            } else {
+                quiet_sum += f64::from(c);
+                quiet_n += 1;
+            }
+        }
+        let spike_mean = spike_sum / spike_n as f64;
+        let quiet_mean = quiet_sum / quiet_n as f64;
+        assert!(
+            spike_mean > 1.8 * quiet_mean,
+            "spike {spike_mean} vs quiet {quiet_mean}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_phase_shift_changes_counts_not_mass() {
+        let base = flash_crowd(2.0);
+        let ArrivalProcess::FlashCrowd {
+            rate,
+            hurst,
+            burstiness,
+            diurnal_depth,
+            diurnal_period_slots,
+            spike_factor,
+            spike_period_slots,
+            spike_slots,
+            ..
+        } = base
+        else {
+            unreachable!()
+        };
+        let shifted = ArrivalProcess::FlashCrowd {
+            rate,
+            hurst,
+            burstiness,
+            diurnal_depth,
+            diurnal_period_slots,
+            diurnal_phase_slots: 150,
+            spike_factor,
+            spike_period_slots,
+            spike_slots,
+        };
+        let a = base.counts(1200, &mut SimRng::new(3)).expect("valid");
+        let b = shifted.counts(1200, &mut SimRng::new(3)).expect("valid");
+        assert_ne!(a, b, "phase shift must move load in time");
+        let sum_a: u64 = a.iter().map(|&c| u64::from(c)).sum();
+        let sum_b: u64 = b.iter().map(|&c| u64::from(c)).sum();
+        let diff = sum_a.abs_diff(sum_b) as f64;
+        assert!(
+            diff / (sum_a as f64) < 0.05,
+            "phase shift should preserve total mass: {sum_a} vs {sum_b}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_rejects_bad_parameters() {
+        let mut rng = SimRng::new(1);
+        let ok = flash_crowd(2.0);
+        assert!(ok.counts(10, &mut rng).is_ok());
+        let with = |f: &dyn Fn(&mut ArrivalProcess)| {
+            let mut p = ok;
+            f(&mut p);
+            p
+        };
+        let cases: Vec<ArrivalProcess> = vec![
+            with(&|p| {
+                if let ArrivalProcess::FlashCrowd { diurnal_depth, .. } = p {
+                    *diurnal_depth = 1.0;
+                }
+            }),
+            with(&|p| {
+                if let ArrivalProcess::FlashCrowd {
+                    diurnal_period_slots,
+                    ..
+                } = p
+                {
+                    *diurnal_period_slots = 0;
+                }
+            }),
+            with(&|p| {
+                if let ArrivalProcess::FlashCrowd { spike_factor, .. } = p {
+                    *spike_factor = 0.5;
+                }
+            }),
+            with(&|p| {
+                if let ArrivalProcess::FlashCrowd {
+                    spike_period_slots,
+                    spike_slots,
+                    ..
+                } = p
+                {
+                    *spike_period_slots = 10;
+                    *spike_slots = 11;
+                }
+            }),
+        ];
+        for bad in cases {
+            assert!(bad.counts(10, &mut rng).is_err(), "{bad:?} should fail");
         }
     }
 

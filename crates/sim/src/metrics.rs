@@ -221,7 +221,7 @@ impl JsonValue {
     /// The canonical form for JSONL run-log records: one line per
     /// value, fields in insertion order, floats via shortest-round-trip
     /// `Display`. Contains no raw newline or other control character —
-    /// [`escape_into`] escapes everything below U+0020 — so splitting a
+    /// `escape_into` escapes everything below U+0020 — so splitting a
     /// chunk file on `\n` always recovers record boundaries.
     #[must_use]
     pub fn render_compact(&self) -> String {

@@ -1,0 +1,181 @@
+//! Geo-tiered content delivery, end to end.
+//!
+//! Three timezone-shifted edge regions — each a `dms-cluster` fleet
+//! with an LRU cache — front one shared origin uplink guarded by the
+//! M/M/1/K admission predictor. Content popularity is Zipf with a
+//! churning hot set, arrivals are flash-crowd-spiked diurnal
+//! self-similar processes, and the last hop prices each session by
+//! device class: wired, wireless (adaptive modulation + JSCC decode
+//! energy), or mesh (battery-cost MANET route). The same offered
+//! sessions are then replayed through a flat single-tier fleet of
+//! equal total capacity to show what the tiers buy.
+//!
+//! Run with: `cargo run --release --example geo_tiered_delivery`
+
+use dms::cluster::{
+    merge_regions, BalancerPolicy, ClassMix, ClusterConfig, ContentModel, DeviceClass,
+    LastHopEnergy, RegionConfig, TieredConfig, TieredSim,
+};
+use dms::serve::{
+    AdmissionPolicy, ArrivalProcess, CapacityModel, RecoveryConfig, ServerConfig, SessionTemplate,
+};
+
+const SLOTS: u64 = 400;
+const REGIONS: usize = 3;
+const SHARD_SESSIONS: u64 = 60;
+
+fn fleet(shards: usize, template: &SessionTemplate, seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        shards: vec![
+            ServerConfig {
+                capacity: CapacityModel {
+                    link_bits_per_slot: SHARD_SESSIONS * template.full_bits(),
+                    queue_frames: 64,
+                    occupancy_bound: 8.0,
+                },
+                policy: AdmissionPolicy::QueuePredictor,
+                degrade: None,
+                buffer_slots: 8,
+                miss_slots: 4,
+            };
+            shards
+        ],
+        balancer: BalancerPolicy::JoinShortestQueue,
+        recovery: RecoveryConfig::default(),
+        seed,
+    }
+}
+
+fn arrivals(region: usize) -> ArrivalProcess {
+    ArrivalProcess::FlashCrowd {
+        rate: 2.4,
+        hurst: 0.8,
+        burstiness: 0.6,
+        diurnal_depth: 0.4,
+        diurnal_period_slots: SLOTS,
+        diurnal_phase_slots: region as u64 * (SLOTS / REGIONS as u64),
+        spike_factor: 2.5,
+        spike_period_slots: 200,
+        spike_slots: 20,
+    }
+}
+
+fn config(regions: usize, cache_items: usize, proximate: bool) -> TieredConfig {
+    let mut template = SessionTemplate::streaming_default().expect("preset valid");
+    template.mean_duration_slots = 80.0;
+    let shards_per_region = REGIONS / regions * 2;
+    TieredConfig {
+        regions: (0..regions)
+            .map(|r| RegionConfig {
+                fleet: fleet(shards_per_region, &template, 40 + r as u64),
+                arrivals: arrivals(r),
+                cache_items,
+                proximate,
+            })
+            .collect(),
+        template,
+        slots: SLOTS,
+        content: ContentModel {
+            catalog_size: 1_200,
+            zipf_exponent: 1.1,
+            churn_period_slots: 100,
+            churn_stride: 211,
+        },
+        origin: CapacityModel {
+            // Less than half the fleet: the uplink is the bottleneck.
+            link_bits_per_slot: 150 * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        },
+        classes: ClassMix::streaming_default(&template),
+        energy: LastHopEnergy::derive(11).expect("derivable"),
+        seed: 2026,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tiered_sim = TieredSim::new(config(REGIONS, 192, true))?;
+    let (workloads, draws) = tiered_sim.generate()?;
+    let tiered = tiered_sim.run_on(&workloads, &draws)?;
+
+    // The flat baseline: one central fleet of the same total shard
+    // capacity, no cache, far last hop — offered the identical merged
+    // sessions and content draws.
+    let flat_sim = TieredSim::new(config(1, 0, false))?;
+    let (merged, merged_draws) = merge_regions(
+        &workloads,
+        &draws,
+        tiered_sim.config().template,
+        tiered_sim.config().slots,
+    );
+    let flat = flat_sim.run_on(&[merged], &[merged_draws])?;
+
+    println!("Geo-tiered delivery: {REGIONS} edge regions + shared origin, {SLOTS} slots\n");
+    println!("Per-region view (tiered arm):");
+    println!(
+        "  {:>7} {:>8} {:>6} {:>8} {:>8} {:>9} {:>10}",
+        "region", "offered", "hits", "fetches", "rejects", "utility", "energy J"
+    );
+    for (r, region) in tiered.regions.iter().enumerate() {
+        println!(
+            "  {:>7} {:>8} {:>6} {:>8} {:>8} {:>9.3} {:>10.1}",
+            r,
+            region.offered,
+            region.edge_hits,
+            region.origin_fetches,
+            region.origin_rejected,
+            region.last_hop_utility,
+            region.energy_j
+        );
+    }
+    println!("\nDevice-class last hop (region 0):");
+    for class in DeviceClass::ALL {
+        let c = &tiered.regions[0].classes[class.index()];
+        let delivered_bits = c.est_session_slots * c.ship_bits_per_slot as f64;
+        println!(
+            "  {:<9} {:>6} sessions  utility {:.3}  {:>8.2} nJ/bit",
+            class.name(),
+            c.sessions,
+            c.utility,
+            if delivered_bits > 0.0 {
+                c.energy_j / delivered_bits * 1e9
+            } else {
+                0.0
+            }
+        );
+    }
+
+    println!(
+        "\nTiered vs flat at identical offered load ({} sessions):",
+        tiered.offered()
+    );
+    let row = |name: &str, t: f64, f: f64, unit: &str| {
+        println!("  {name:<28} {t:>12.3} vs {f:>12.3} {unit}");
+    };
+    row("cache-hit ratio", tiered.hit_ratio(), flat.hit_ratio(), "");
+    row(
+        "origin load (rho)",
+        tiered.origin_load(),
+        flat.origin_load(),
+        "",
+    );
+    row(
+        "sessions lost at origin",
+        tiered.origin_rejected() as f64,
+        flat.origin_rejected() as f64,
+        "",
+    );
+    row(
+        "delivered utility",
+        tiered.delivered_utility(),
+        flat.delivered_utility(),
+        "",
+    );
+    row(
+        "last-hop energy",
+        tiered.energy_per_bit() * 1e9,
+        flat.energy_per_bit() * 1e9,
+        "nJ/bit",
+    );
+    Ok(())
+}

@@ -25,12 +25,18 @@
 //!   shards, join-shortest-queue, one shard crashing mid-run), built
 //!   through the same export path as `e14_run_log`, so it exercises
 //!   the cluster dispatch ledger, fault harvesting, re-routing, and
-//!   the recovery gauge end to end.
+//!   the recovery gauge end to end;
+//! * `E16_tiered_0.6.json` — one E16 geo-tiered point (three edge
+//!   regions + shared origin at 0.6x load), built the way
+//!   `e16_run_log` renders each grid point, pinning the Zipf cache
+//!   pass, origin predictor ledger, flash-crowd workload, per-class
+//!   last-hop energy tables, and the nested per-region fleet export.
 
 use std::path::PathBuf;
 
 use dms_bench::{
-    e10_steady_state, e14_recovered_fraction, e14_run_point_instrumented, run_log_for, E14Point,
+    e10_steady_state, e14_recovered_fraction, e14_run_point_instrumented, e16_run_point,
+    run_log_for, E14Point, E16Arm, E16Point,
 };
 use dms_cluster::BalancerPolicy;
 use dms_sim::{RunLog, RunLogReader, RunLogWriter, RunRecord, TailState};
@@ -154,4 +160,30 @@ fn e14_cluster_point_matches_golden() {
         crash: true,
     });
     assert_matches_golden(&log, "E14_n2_jsq_crash.json");
+}
+
+#[test]
+fn e16_tiered_point_matches_golden() {
+    let point = E16Point {
+        arm: E16Arm::Tiered,
+        load: 0.6,
+    };
+    let report = e16_run_point(point);
+    let mut log = RunLog::new();
+    log.set_meta("experiment", "E16");
+    log.set_meta("point", point.label());
+    report.export(log.registry_mut(), &format!("e16/{}", point.label()));
+    log.push(
+        RunRecord::new("e16-point")
+            .with("label", point.label())
+            .with("offered", report.offered())
+            .with("edge_hits", report.edge_hits())
+            .with("origin_fetches", report.origin_fetches())
+            .with("origin_rejected", report.origin_rejected())
+            .with("hit_ratio", report.hit_ratio())
+            .with("origin_load", report.origin_load())
+            .with("delivered_utility", report.delivered_utility())
+            .with("energy_j_per_bit", report.energy_per_bit()),
+    );
+    assert_matches_golden(&log, "E16_tiered_0.6.json");
 }
