@@ -41,7 +41,7 @@ fn main() {
     // Per-experiment timings, isolated: sequential inside and out
     // (DMS_THREADS=1), so the numbers are comparable across machines.
     std::env::set_var("DMS_THREADS", "1");
-    const EXPERIMENTS: [fn() -> Experiment; 22] = [
+    const EXPERIMENTS: [fn() -> Experiment; 23] = [
         dms_bench::fig1_stream,
         dms_bench::fig2_design_flow,
         dms_bench::e1_asip_speedup,
@@ -60,6 +60,7 @@ fn main() {
         dms_bench::e14_scale_out,
         dms_bench::e15_mega_scale,
         dms_bench::e16_geo_tiered,
+        dms_bench::e17_adaptive_fleet,
         dms_bench::x1_lip_sync,
         dms_bench::x2_ctmc_transient,
         dms_bench::x3_mapped_validation,
@@ -180,6 +181,27 @@ fn main() {
             r.delivered_utility()
         );
         e16_points_timed.push((point.label(), secs));
+    }
+
+    // E17 adaptive-fleet points: closed-loop dispatch (autoscaler +
+    // bandit) plus shard execution, per regime × arm. DMS_THREADS=1
+    // (still set) keeps the shard fan-out serial for per-core costs.
+    println!("\nE17 adaptive-fleet points:");
+    let mut e17_points_timed: Vec<(String, f64)> = Vec::new();
+    for point in dms_bench::e17_points() {
+        let mut outcome = None;
+        let secs = seconds_of(|| {
+            outcome = Some(dms_bench::e17_run_point(point));
+        });
+        let o = outcome.expect("point ran");
+        println!(
+            "  {:<18} {:6.3} s  utility/shard-hour {:8.0}  shard-slots {:5}",
+            point.label(),
+            secs,
+            o.utility_per_shard_hour(),
+            o.shard_slots()
+        );
+        e17_points_timed.push((point.label(), secs));
     }
 
     // E15 mega-scale sweep: sessions/sec/core and peak RSS at
@@ -363,6 +385,9 @@ fn main() {
     for (label, secs) in &e16_points_timed {
         registry.gauge_set(&format!("e16/{label}/seconds"), *secs);
     }
+    for (label, secs) in &e17_points_timed {
+        registry.gauge_set(&format!("e17/{label}/seconds"), *secs);
+    }
     for t in &e15_timed {
         let mut s = registry.scoped(&format!("e15/{}", t.label));
         s.gauge_set("seconds", t.seconds);
@@ -471,6 +496,20 @@ fn main() {
             "e16_tier_points".to_string(),
             JsonValue::Array(
                 e16_points_timed
+                    .iter()
+                    .map(|(label, secs)| {
+                        JsonValue::Object(vec![
+                            ("point".to_string(), JsonValue::from(label.as_str())),
+                            ("seconds".to_string(), JsonValue::Float(*secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "e17_adaptive_points".to_string(),
+            JsonValue::Array(
+                e17_points_timed
                     .iter()
                     .map(|(label, secs)| {
                         JsonValue::Object(vec![

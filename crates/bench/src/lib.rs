@@ -12,13 +12,15 @@ pub mod micro;
 pub mod net;
 
 use dms_ambient::smartspace::SmartSpace;
+use dms_ambient::user::UserBehaviorModel;
 use dms_analysis::{
     aggregate_variance_hurst, FractionalGaussianNoise, PoissonArrivals, ProducerConsumerChain,
 };
 use dms_asip::flow::{DesignFlow, FlowConstraints};
 use dms_asip::workloads;
 use dms_cluster::{
-    aggregate_utility, BalancerPolicy, ClusterConfig, ClusterReport, ClusterSim, ShardFault,
+    aggregate_utility, AdaptiveConfig, AdaptiveControl, AdaptiveSim, ArmSelection, AutoscaleConfig,
+    BalancerPolicy, ClusterConfig, ClusterReport, ClusterSim, ShardFault,
 };
 use dms_manet::lifetime::{run_lifetime, LifetimeConfig};
 use dms_manet::routing::Protocol;
@@ -34,8 +36,8 @@ use dms_noc::topology::{Mesh2d, TileId};
 use dms_noc::traffic::InjectionProcess;
 use dms_serve::{
     corruption_burst, rate_for_load, AdmissionPolicy, ArrivalProcess, CapacityModel, DegradeConfig,
-    FaultReport, RecoveryConfig, ReferenceServerSim, ServeMetricsSink, ServerConfig, ServerReport,
-    ServerSim, SessionTemplate, Workload,
+    FaultReport, PiConfig, RecoveryConfig, ReferenceServerSim, ServeMetricsSink, ServerConfig,
+    ServerReport, ServerSim, SessionTemplate, Workload,
 };
 use dms_sim::{
     FaultPlan, FaultSpec, Metric, MetricsRegistry, ParRunner, RunLog, RunRecord, SimRng,
@@ -820,6 +822,7 @@ pub fn run_log_for(exp: &Experiment) -> RunLog {
         "E14" => e14_run_log(),
         "E15" => e15_run_log(),
         "E16" => e16_run_log(),
+        "E17" => e17_run_log(),
         _ => RunLog::new(),
     };
     log.set_meta("experiment", exp.id);
@@ -2563,6 +2566,417 @@ pub fn e16_geo_tiered() -> Experiment {
     }
 }
 
+// ---------------------------------------------------------------------
+// E17 — the closed-loop adaptive fleet. The E11 ambient user model
+// (home-preset DTMC walkers) generates the offered trace; a static
+// peak-provisioned fleet and the adaptive fleet (occupancy-driven
+// autoscaling + PI feedback shedding + UCB balancer selection) serve
+// the *same* trace, and the headline is delivered utility per
+// provisioned shard-hour: paying for capacity only while the users
+// demand it.
+// ---------------------------------------------------------------------
+
+/// Horizon of one E17 run, slots.
+const E17_SLOTS: u64 = 480;
+
+/// Slots per "hour" in the shard-hour tables (any fixed scale
+/// preserves the static-vs-adaptive comparison).
+const E17_SLOTS_PER_HOUR: f64 = 60.0;
+
+/// Mean session holding time, slots.
+const E17_DURATION_SLOTS: f64 = 40.0;
+
+/// Full-quality concurrent sessions one shard's link carries.
+const E17_SHARD_SESSIONS: u64 = 30;
+
+/// Fleet floor/ceiling; the static baseline always pays for the
+/// ceiling.
+const E17_MIN_SHARDS: usize = 1;
+const E17_MAX_SHARDS: usize = 4;
+
+/// Autoscaler control period (also the bandit's reward window).
+const E17_PERIOD: u64 = 20;
+
+/// Warm-up slots a freshly provisioned shard bills without serving.
+const E17_WARMUP: u64 = 10;
+
+/// Home-preset DTMC walkers at the trough and at the peak (~1.7
+/// concurrent streams per user at a 40-slot mean hold).
+const E17_USERS_TROUGH: usize = 5;
+const E17_USERS_PEAK: usize = 55;
+
+/// Bandwidth threshold an activity must demand to count as a
+/// streaming session (video and video-call in the home preset).
+const E17_STREAM_BPS: f64 = 1e6;
+
+/// Master seed of the sweep.
+const E17_SEED: u64 = 1701;
+
+/// Which offered-load regime drives an E17 point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum E17Regime {
+    /// The trough population all day: one shard suffices.
+    Trough,
+    /// Trough population with the peak population swelling in for the
+    /// middle third of the horizon — the diurnal shape the autoscaler
+    /// exists for.
+    Diurnal,
+    /// The peak population all day: the fleet ceiling is needed
+    /// throughout.
+    Surge,
+}
+
+impl E17Regime {
+    /// Stable label used in point names and the timing JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            E17Regime::Trough => "trough",
+            E17Regime::Diurnal => "diurnal",
+            E17Regime::Surge => "surge",
+        }
+    }
+}
+
+/// Which fleet serves an E17 point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum E17Arm {
+    /// Peak-provisioned `E17_MAX_SHARDS` fleet, fixed JSQ balancer,
+    /// open-loop hysteresis degrade — today's static cluster.
+    Static,
+    /// The closed-loop [`AdaptiveSim`]: autoscaling + PI shedding +
+    /// UCB balancer selection.
+    Adaptive,
+}
+
+impl E17Arm {
+    /// Stable label used in point names and the timing JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            E17Arm::Static => "static",
+            E17Arm::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// One point of the E17 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct E17Point {
+    /// Load regime.
+    pub regime: E17Regime,
+    /// Fleet under test.
+    pub arm: E17Arm,
+}
+
+impl E17Point {
+    /// Stable point label, e.g. `diurnal-adaptive`.
+    #[must_use]
+    pub fn label(self) -> String {
+        format!("{}-{}", self.regime.label(), self.arm.label())
+    }
+}
+
+/// The full E17 grid: every regime × both arms.
+#[must_use]
+pub fn e17_points() -> Vec<E17Point> {
+    let mut points = Vec::new();
+    for &regime in &[E17Regime::Trough, E17Regime::Diurnal, E17Regime::Surge] {
+        for &arm in &[E17Arm::Static, E17Arm::Adaptive] {
+            points.push(E17Point { regime, arm });
+        }
+    }
+    points
+}
+
+fn e17_template() -> SessionTemplate {
+    let mut template = SessionTemplate::streaming_default().expect("preset valid");
+    template.mean_duration_slots = E17_DURATION_SLOTS;
+    template
+}
+
+/// The offered trace of a regime: per-slot session-arrival counts
+/// from the E11 home-preset user DTMC. The diurnal regime splices the
+/// peak population in for the middle third — per-user substreams make
+/// the peak trace a slot-wise superset of the trough trace, so the
+/// splice is exactly a population swell.
+#[must_use]
+pub fn e17_arrival_counts(regime: E17Regime) -> Vec<u32> {
+    let model = UserBehaviorModel::home_preset().expect("preset valid");
+    let slots = E17_SLOTS as usize;
+    let lo = model.session_arrivals(slots, E17_USERS_TROUGH, E17_STREAM_BPS, E17_SEED);
+    match regime {
+        E17Regime::Trough => lo,
+        E17Regime::Surge => model.session_arrivals(slots, E17_USERS_PEAK, E17_STREAM_BPS, E17_SEED),
+        E17Regime::Diurnal => {
+            let hi = model.session_arrivals(slots, E17_USERS_PEAK, E17_STREAM_BPS, E17_SEED);
+            (0..slots)
+                .map(|s| {
+                    if s >= slots / 3 && s < 2 * slots / 3 {
+                        hi[s]
+                    } else {
+                        lo[s]
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// The regime's workload: the ambient trace bridged into session
+/// offers through the serve-side duration substream.
+#[must_use]
+pub fn e17_workload(regime: E17Regime) -> Workload {
+    Workload::from_arrival_counts(&e17_arrival_counts(regime), e17_template(), E17_SEED)
+        .expect("valid workload")
+}
+
+/// The homogeneous shard template. The adaptive arm closes the
+/// degrade loop with the PI controller; the static arm keeps the
+/// open-loop hysteresis thresholds.
+fn e17_shard(template: &SessionTemplate, pi: bool) -> ServerConfig {
+    ServerConfig {
+        capacity: CapacityModel {
+            link_bits_per_slot: E17_SHARD_SESSIONS * template.full_bits(),
+            queue_frames: 64,
+            occupancy_bound: 8.0,
+        },
+        policy: AdmissionPolicy::AdmitAll,
+        degrade: Some(DegradeConfig {
+            pi: pi.then(PiConfig::default),
+            ..DegradeConfig::default()
+        }),
+        buffer_slots: 8,
+        miss_slots: 4,
+    }
+}
+
+/// The adaptive fleet under test.
+#[must_use]
+pub fn e17_adaptive_config() -> AdaptiveConfig {
+    let template = e17_template();
+    AdaptiveConfig {
+        shard: e17_shard(&template, true),
+        autoscale: AutoscaleConfig {
+            min_shards: E17_MIN_SHARDS,
+            max_shards: E17_MAX_SHARDS,
+            control_period_slots: E17_PERIOD,
+            scale_up_above: 2.5,
+            scale_in_below: 0.6,
+            warmup_slots: E17_WARMUP,
+        },
+        arms: ArmSelection::ucb(),
+        recovery: RecoveryConfig::default(),
+        seed: E17_SEED,
+    }
+}
+
+/// The static peak-provisioned baseline.
+#[must_use]
+pub fn e17_static_config() -> ClusterConfig {
+    let template = e17_template();
+    ClusterConfig {
+        shards: vec![e17_shard(&template, false); E17_MAX_SHARDS],
+        balancer: BalancerPolicy::JoinShortestQueue,
+        recovery: RecoveryConfig::default(),
+        seed: E17_SEED,
+    }
+}
+
+/// One E17 point's outcome: the cluster report plus (adaptive arm
+/// only) the control-plane trace.
+#[derive(Debug, Clone)]
+pub struct E17Outcome {
+    /// Dispatch ledger + per-shard reports.
+    pub cluster: ClusterReport,
+    /// Scale events, windows and the shard-hour bill (adaptive arm).
+    pub control: Option<AdaptiveControl>,
+}
+
+impl E17Outcome {
+    /// Provisioned shard-slots billed (the static arm pays the
+    /// ceiling for the whole horizon).
+    #[must_use]
+    pub fn shard_slots(&self) -> u64 {
+        self.control
+            .as_ref()
+            .map_or(E17_MAX_SHARDS as u64 * E17_SLOTS, |c| c.shard_slots)
+    }
+
+    /// Delivered utility per provisioned shard-hour — the headline.
+    #[must_use]
+    pub fn utility_per_shard_hour(&self) -> f64 {
+        self.cluster.utility_sum() / self.shard_slots() as f64 * E17_SLOTS_PER_HOUR
+    }
+}
+
+/// Runs one E17 point. Both arms are offered the byte-identical
+/// ambient trace of the regime.
+#[must_use]
+pub fn e17_run_point(point: E17Point) -> E17Outcome {
+    let workload = e17_workload(point.regime);
+    match point.arm {
+        E17Arm::Static => {
+            let sim = ClusterSim::new(e17_static_config()).expect("valid config");
+            E17Outcome {
+                cluster: sim.run(&workload).expect("static run"),
+                control: None,
+            }
+        }
+        E17Arm::Adaptive => {
+            let sim = AdaptiveSim::new(e17_adaptive_config()).expect("valid config");
+            let report = sim.run(&workload, None).expect("adaptive run");
+            E17Outcome {
+                cluster: report.cluster,
+                control: Some(report.control),
+            }
+        }
+    }
+}
+
+/// Builds the E17 run-log: one record and one metrics scope per grid
+/// point; the adaptive scopes carry the per-slot shard-count series
+/// and the per-window controller state (arm, reward, occupancy).
+#[must_use]
+pub fn e17_run_log() -> RunLog {
+    let points = e17_points();
+    let results: Vec<(E17Outcome, MetricsRegistry)> = ParRunner::new().map(&points, |&point| {
+        let outcome = e17_run_point(point);
+        let mut registry = MetricsRegistry::new();
+        let scope = format!("e17/{}", point.label());
+        match &outcome.control {
+            Some(control) => {
+                dms_cluster::AdaptiveReport {
+                    cluster: outcome.cluster.clone(),
+                    control: control.clone(),
+                }
+                .export(&mut registry, &scope);
+            }
+            None => outcome.cluster.export(&mut registry, &scope),
+        }
+        (outcome, registry)
+    });
+    let mut log = RunLog::new();
+    log.set_meta("experiment", "E17");
+    log.set_meta("slots", E17_SLOTS.to_string());
+    log.set_meta("min_shards", E17_MIN_SHARDS.to_string());
+    log.set_meta("max_shards", E17_MAX_SHARDS.to_string());
+    log.set_meta("control_period", E17_PERIOD.to_string());
+    for (point, (outcome, registry)) in points.iter().zip(&results) {
+        log.registry_mut().merge(registry);
+        let control = outcome.control.as_ref();
+        log.push(
+            RunRecord::new("e17-point")
+                .with("label", point.label())
+                .with("regime", point.regime.label())
+                .with("arm", point.arm.label())
+                .with("offered", outcome.cluster.offered())
+                .with("admitted", outcome.cluster.admitted())
+                .with("rejected", outcome.cluster.rejected())
+                .with("rerouted", outcome.cluster.dispatch.rerouted)
+                .with("utility_sum", outcome.cluster.utility_sum())
+                .with("shard_slots", outcome.shard_slots())
+                .with("utility_per_shard_hour", outcome.utility_per_shard_hour())
+                .with(
+                    "scale_ups",
+                    control.map_or(0, |c| c.scale_events.iter().filter(|e| e.up).count() as u64),
+                )
+                .with(
+                    "scale_ins",
+                    control.map_or(0, |c| {
+                        c.scale_events.iter().filter(|e| !e.up).count() as u64
+                    }),
+                ),
+        );
+    }
+    log
+}
+
+/// E17 — the closed-loop adaptive fleet vs the static peak-provisioned
+/// baseline at byte-identical offered traces: autoscaling converts the
+/// diurnal/trough regimes' idle capacity into a strictly better
+/// utility-per-shard-hour bill, the PI controller sheds layers against
+/// the measured miss rate, and the UCB bandit settles on a balancer
+/// per regime.
+#[must_use]
+pub fn e17_adaptive_fleet() -> Experiment {
+    let points = e17_points();
+    let outcomes = ParRunner::new().map(&points, |&p| e17_run_point(p));
+    let find = |regime: E17Regime, arm: E17Arm| -> &E17Outcome {
+        points
+            .iter()
+            .position(|p| p.regime == regime && p.arm == arm)
+            .map(|i| &outcomes[i])
+            .expect("point is on the grid")
+    };
+    let mut rows = Vec::new();
+    for &regime in &[E17Regime::Trough, E17Regime::Diurnal, E17Regime::Surge] {
+        let s = find(regime, E17Arm::Static);
+        let a = find(regime, E17Arm::Adaptive);
+        rows.push(Row::new(
+            format!("utility per shard-hour, {} regime", regime.label()),
+            "adapting the fleet to the users beats peak provisioning",
+            format!(
+                "adaptive {:.0} vs static {:.0} ({:.2}x)",
+                a.utility_per_shard_hour(),
+                s.utility_per_shard_hour(),
+                a.utility_per_shard_hour() / s.utility_per_shard_hour()
+            ),
+        ));
+    }
+    let diurnal = find(E17Regime::Diurnal, E17Arm::Adaptive);
+    let control = diurnal.control.as_ref().expect("adaptive arm");
+    let ups = control.scale_events.iter().filter(|e| e.up).count();
+    let ins = control.scale_events.iter().filter(|e| !e.up).count();
+    rows.push(Row::new(
+        "diurnal scale events (up / in)",
+        "the fleet breathes with the population swell",
+        format!(
+            "{ups} up / {ins} in, bill {} of {} shard-slots",
+            control.shard_slots,
+            E17_MAX_SHARDS as u64 * E17_SLOTS
+        ),
+    ));
+    let arms_played: std::collections::BTreeSet<&str> = control
+        .windows
+        .iter()
+        .filter(|w| w.offered > 0)
+        .map(|w| w.arm.label())
+        .collect();
+    let exploited = control
+        .windows
+        .iter()
+        .rev()
+        .find(|w| w.offered > 0)
+        .map_or("-", |w| w.arm.label());
+    rows.push(Row::new(
+        "bandit balancer selection (diurnal)",
+        "UCB explores all arms, then exploits",
+        format!(
+            "played {{{}}}, settled on {} over {} windows",
+            arms_played.into_iter().collect::<Vec<_>>().join(","),
+            exploited,
+            control.windows.len()
+        ),
+    ));
+    let surge = find(E17Regime::Surge, E17Arm::Adaptive);
+    rows.push(Row::new(
+        "surge regime sessions lost vs static",
+        "warm-up is the cost of starting small",
+        format!(
+            "adaptive rejects {} vs static {} of {}",
+            surge.cluster.rejected(),
+            find(E17Regime::Surge, E17Arm::Static).cluster.rejected(),
+            surge.cluster.offered()
+        ),
+    ));
+    Experiment {
+        id: "E17",
+        title: "Closed-loop adaptive fleet: autoscale + PI shedding + bandit balancer (S2.2, S5)",
+        rows,
+    }
+}
+
 /// X1 — lip synchronisation (extension; §2.1's temporal relationship,
 /// not a numbered claim of the paper).
 #[must_use]
@@ -2736,7 +3150,7 @@ pub fn x4_arq_packet_size() -> Experiment {
 /// (`DMS_THREADS=1` forces that loop back).
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {
-    const EXPERIMENTS: [fn() -> Experiment; 22] = [
+    const EXPERIMENTS: [fn() -> Experiment; 23] = [
         fig1_stream,
         fig2_design_flow,
         e1_asip_speedup,
@@ -2755,6 +3169,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         e14_scale_out,
         e15_mega_scale,
         e16_geo_tiered,
+        e17_adaptive_fleet,
         x1_lip_sync,
         x2_ctmc_transient,
         x3_mapped_validation,
@@ -2999,6 +3414,55 @@ mod tests {
             "E16: tiered origin load {} not below flat {}",
             tiered.origin_load(),
             flat.origin_load()
+        );
+
+        // E17: the adaptive fleet's utility-per-shard-hour is
+        // strictly above the static peak-provisioned baseline on the
+        // trough and diurnal regimes (the autoscaler's raison d'être)
+        // at byte-identical offered traces, with real margin on each.
+        for (regime, margin) in [(E17Regime::Trough, 2.0), (E17Regime::Diurnal, 1.3)] {
+            let adaptive = e17_run_point(E17Point {
+                regime,
+                arm: E17Arm::Adaptive,
+            });
+            let fixed = e17_run_point(E17Point {
+                regime,
+                arm: E17Arm::Static,
+            });
+            assert_eq!(
+                adaptive.cluster.offered(),
+                fixed.cluster.offered(),
+                "E17 {}: the arms must see identical offered traces",
+                regime.label()
+            );
+            assert!(
+                adaptive.utility_per_shard_hour() > margin * fixed.utility_per_shard_hour(),
+                "E17 {}: adaptive {} not {}x static {}",
+                regime.label(),
+                adaptive.utility_per_shard_hour(),
+                margin,
+                fixed.utility_per_shard_hour()
+            );
+        }
+        // The diurnal run actually breathes: at least one scale-up
+        // and one scale-in, and the bill stays under the ceiling.
+        let diurnal = e17_run_point(E17Point {
+            regime: E17Regime::Diurnal,
+            arm: E17Arm::Adaptive,
+        });
+        let control = diurnal.control.as_ref().expect("adaptive control trace");
+        assert!(
+            control.scale_events.iter().any(|e| e.up),
+            "E17: no scale-up"
+        );
+        assert!(
+            control.scale_events.iter().any(|e| !e.up),
+            "E17: no scale-in"
+        );
+        assert!(
+            control.shard_slots < E17_MAX_SHARDS as u64 * E17_SLOTS,
+            "E17: diurnal bill {} not below the static ceiling",
+            control.shard_slots
         );
 
         // E9: battery-cost routing improves lifetime by >20%.

@@ -1,0 +1,928 @@
+//! The closed-loop adaptive fleet (E17): autoscaling, feedback
+//! shedding and online balancer selection over the sharded cluster.
+//!
+//! The paper's holistic thesis is that resource policy must adapt to
+//! the *user's* stochastic behaviour, not a fixed offered rate. The
+//! static [`ClusterSim`] fixes its shard count and balancer at
+//! construction; [`AdaptiveSim`] closes three loops around the same
+//! dispatch/execution machinery:
+//!
+//! 1. **Autoscaling** — every `control_period_slots` the controller
+//!    samples the mean predicted M/M/1/K occupancy of the routable
+//!    shards (the same mirror predictors the balancers route with)
+//!    and provisions or drains one shard. A freshly provisioned shard
+//!    pays a warm-up cost: the balancer routes nothing to it for
+//!    `warmup_slots`, and its server-side warm-up gate rejects
+//!    anything that slips through — yet it counts against the
+//!    shard-hour bill from the moment it is provisioned. Scale-in
+//!    drains through the *existing* E13 crash-harvest machinery: the
+//!    shard is marked down, its in-flight sessions are re-offered to
+//!    the survivors with their remaining duration (counted
+//!    `rerouted`), and the execution phase crashes the shard's active
+//!    set at the drain slot exactly like a fault would.
+//! 2. **Feedback shedding** — per-shard PI controllers on the
+//!    measured deadline-miss rate ([`dms_serve::PiConfig`]) replace
+//!    the open-loop hysteresis thresholds when the shard config asks
+//!    for them; the cluster layer only plumbs the config through.
+//! 3. **Balancer selection** — a seeded UCB1 bandit chooses rr / jsq
+//!    / p2c per control window from a dispatch-time reward: the
+//!    fraction of routed offers whose receiving shard's mirror
+//!    predicted it could actually serve them (a utility-per-offer
+//!    surrogate measurable before the shards run). All bandit
+//!    arithmetic is Q16 fixed point, so arm sequences are
+//!    bit-deterministic.
+//!
+//! The scale-event state machine is deliberately one-way per shard:
+//! `Parked → Provisioned (warming) → Routable → Drained`. A drained
+//! shard is never reused — scale-up always takes the lowest-index
+//! parked spare — which keeps every shard's lifetime a single
+//! interval and the shard-hour accounting exact.
+//!
+//! With the autoscaler pinned (`min_shards == max_shards`), the arm
+//! fixed, and no PI block, the adaptive fleet *is* the static cluster
+//! bit for bit (`tests/differential_adaptive.rs`): the control loop
+//! still samples occupancy, but sampling is pure modulo memo fills
+//! that are bit-identical to the direct evaluation.
+
+use dms_serve::{
+    RecoveryConfig, ServeError, ServeMetricsSink, ServerConfig, SessionRequest, Workload,
+};
+use dms_sim::{EventQueue, FaultPlan, FaultSpec, MetricsRegistry, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::balancer::{Balancer, BalancerPolicy, Route, ShardState};
+use crate::cluster::{ClusterConfig, ClusterReport, ClusterSim, DispatchReport, ShardFault};
+
+/// `ln 2` in Q16 — the quantum of the integer `ln` approximation.
+const LN2_Q16: i64 = 45_426;
+
+/// The bandit's arms, in pull order.
+const ARMS: [BalancerPolicy; 3] = [
+    BalancerPolicy::RoundRobin,
+    BalancerPolicy::JoinShortestQueue,
+    BalancerPolicy::PowerOfTwoChoices,
+];
+
+/// `ln t` in Q16, approximated as `ilog2(t) · ln 2` — monotone,
+/// integer-only, and exact at powers of two, which is all UCB's
+/// exploration bonus needs.
+fn ln_q16(t: u64) -> i64 {
+    if t < 2 {
+        0
+    } else {
+        i64::from(t.ilog2()) * LN2_Q16
+    }
+}
+
+/// Shard-count / warm-up knobs of the autoscaler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// Shards provisioned at slot 0 and never drained below.
+    pub min_shards: usize,
+    /// Hard ceiling on provisioned shards (the fleet's spare pool is
+    /// `max_shards - min_shards`).
+    pub max_shards: usize,
+    /// Slots between control decisions (also the bandit's reward
+    /// window). Must be `> 0`.
+    pub control_period_slots: u64,
+    /// Provision one spare when the mean predicted occupancy of the
+    /// routable shards exceeds this (M/M/1/K frames, the admission
+    /// predictors' unit).
+    pub scale_up_above: f64,
+    /// Drain the youngest shard when the mean predicted occupancy
+    /// falls below this. Must be `< scale_up_above`.
+    pub scale_in_below: f64,
+    /// Slots a freshly provisioned shard spends warming before the
+    /// balancer routes to it (it bills shard-hours throughout).
+    pub warmup_slots: u64,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            min_shards: 1,
+            max_shards: 4,
+            control_period_slots: 20,
+            scale_up_above: 2.5,
+            scale_in_below: 0.6,
+            warmup_slots: 8,
+        }
+    }
+}
+
+impl AutoscaleConfig {
+    /// Pins the autoscaler at exactly `shards` shards (the
+    /// differential-test configuration: no scale events can occur).
+    #[must_use]
+    pub fn pinned(shards: usize, control_period_slots: u64) -> Self {
+        AutoscaleConfig {
+            min_shards: shards,
+            max_shards: shards,
+            control_period_slots,
+            warmup_slots: 0,
+            ..AutoscaleConfig::default()
+        }
+    }
+
+    /// Validates bounds and thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.min_shards == 0 {
+            return Err(ServeError::InvalidParameter("min_shards"));
+        }
+        if self.max_shards < self.min_shards {
+            return Err(ServeError::InvalidParameter("max_shards"));
+        }
+        if self.control_period_slots == 0 {
+            return Err(ServeError::InvalidParameter("control_period_slots"));
+        }
+        if !(self.scale_up_above.is_finite() && self.scale_up_above > 0.0) {
+            return Err(ServeError::InvalidParameter("scale_up_above"));
+        }
+        if !(self.scale_in_below.is_finite()
+            && self.scale_in_below >= 0.0
+            && self.scale_in_below < self.scale_up_above)
+        {
+            return Err(ServeError::InvalidParameter("scale_in_below"));
+        }
+        Ok(())
+    }
+}
+
+/// How the fleet picks its balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArmSelection {
+    /// One policy for the whole run (the pinned/differential mode —
+    /// and exactly the static cluster's behaviour).
+    Fixed(BalancerPolicy),
+    /// UCB1 over rr/jsq/p2c, re-selected every control window.
+    Ucb {
+        /// Exploration-bonus scale in Q16 (`2 << 16` is the textbook
+        /// `sqrt(2 ln t / n)`).
+        exploration_q16: i64,
+    },
+}
+
+impl ArmSelection {
+    /// The textbook UCB1 configuration.
+    #[must_use]
+    pub fn ucb() -> Self {
+        ArmSelection::Ucb {
+            exploration_q16: 2 << 16,
+        }
+    }
+}
+
+/// Full configuration of the adaptive fleet: one homogeneous shard
+/// template plus the three control loops' knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Per-shard server configuration (homogeneous fleet — the
+    /// autoscaler adds and removes identical replicas).
+    pub shard: ServerConfig,
+    /// Shard-count control loop.
+    pub autoscale: AutoscaleConfig,
+    /// Balancer-selection loop.
+    pub arms: ArmSelection,
+    /// Backoff/retry knobs shared by refusals and drain re-offers.
+    pub recovery: RecoveryConfig,
+    /// Seed for the balancer candidate streams.
+    pub seed: u64,
+}
+
+impl AdaptiveConfig {
+    /// Validates the shard template and every control loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard/autoscale/recovery validation; rejects a
+    /// non-positive UCB exploration scale.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.shard.validate()?;
+        self.autoscale.validate()?;
+        self.recovery.validate()?;
+        if let ArmSelection::Ucb { exploration_q16 } = self.arms {
+            if exploration_q16 <= 0 {
+                return Err(ServeError::InvalidParameter("exploration_q16"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One autoscaler decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Control-boundary slot the decision fired at.
+    pub slot: u64,
+    /// Shard provisioned or drained.
+    pub shard: usize,
+    /// `true` = provisioned (scale-up), `false` = drained (scale-in).
+    pub up: bool,
+    /// Mean predicted occupancy that triggered the decision.
+    pub occupancy: f64,
+}
+
+/// One control window's measurements (closed at each boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlWindow {
+    /// Slot the window closed at (a control boundary, or the horizon
+    /// for the final partial window).
+    pub end_slot: u64,
+    /// Balancer that routed during the window.
+    pub arm: BalancerPolicy,
+    /// Offers routed (originals, retries and re-offers) in the window.
+    pub offered: u64,
+    /// Dispatches whose receiving shard's mirror predicted it could
+    /// serve the session — the bandit's "good" count.
+    pub good: u64,
+    /// `good / offered` in Q16 (`0` for an empty window).
+    pub reward_q16: i64,
+    /// Mean predicted occupancy sampled at the closing boundary.
+    pub mean_occupancy: f64,
+    /// Routable shards at the closing boundary.
+    pub routable_shards: u64,
+}
+
+/// Everything the adaptive dispatch pass measured beyond the routing
+/// ledger: scale events, control windows and the shard-hour bill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveControl {
+    /// Scale decisions in slot order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Control windows in slot order.
+    pub windows: Vec<ControlWindow>,
+    /// Provisioned shard count per slot (warming shards included —
+    /// warm-up is precisely the interval where a shard bills without
+    /// serving).
+    pub shard_count: Vec<u64>,
+    /// Total provisioned shard-slots (the denominator of
+    /// utility-per-shard-hour).
+    pub shard_slots: u64,
+    /// Per shard: the slot it was provisioned at (`None` = parked the
+    /// whole run).
+    pub provisioned_at: Vec<Option<u64>>,
+    /// Per shard: the slot it was drained at (`None` = ran to the
+    /// horizon once provisioned).
+    pub drained_at: Vec<Option<u64>>,
+}
+
+/// What one adaptive run measured: the cluster report (dispatch
+/// ledger + per-shard reports) plus the control-plane trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveReport {
+    /// Dispatch ledger and per-shard execution reports, exactly as a
+    /// static [`ClusterReport`] shapes them.
+    pub cluster: ClusterReport,
+    /// The control-plane trace.
+    pub control: AdaptiveControl,
+}
+
+impl AdaptiveReport {
+    /// Delivered utility per provisioned shard-slot — the E17
+    /// headline. Scale by slots-per-hour for a per-shard-hour figure;
+    /// any fixed scale preserves the static-vs-adaptive comparison.
+    #[must_use]
+    pub fn utility_per_shard_slot(&self) -> f64 {
+        if self.control.shard_slots == 0 {
+            0.0
+        } else {
+            self.cluster.utility_sum() / self.control.shard_slots as f64
+        }
+    }
+
+    /// Exports the cluster counters (same shape as
+    /// [`ClusterReport::export`]) plus the control-plane series: the
+    /// per-slot shard count and the per-window controller state.
+    pub fn export(&self, registry: &mut MetricsRegistry, scope: &str) {
+        self.cluster.export(registry, scope);
+        let mut s = registry.scoped(scope);
+        s.counter_add(
+            "scale_ups",
+            self.control.scale_events.iter().filter(|e| e.up).count() as u64,
+        );
+        s.counter_add(
+            "scale_ins",
+            self.control.scale_events.iter().filter(|e| !e.up).count() as u64,
+        );
+        s.counter_add("shard_slots", self.control.shard_slots);
+        s.gauge_set("utility_per_shard_slot", self.utility_per_shard_slot());
+        s.series_extend(
+            "shard_count",
+            self.control.shard_count.iter().map(|&c| c as f64),
+        );
+        s.series_extend(
+            "ctl/arm",
+            self.control
+                .windows
+                .iter()
+                .map(|w| ARMS.iter().position(|&a| a == w.arm).unwrap_or(0) as f64),
+        );
+        s.series_extend(
+            "ctl/reward_q16",
+            self.control.windows.iter().map(|w| w.reward_q16 as f64),
+        );
+        s.series_extend(
+            "ctl/occupancy",
+            self.control.windows.iter().map(|w| w.mean_occupancy),
+        );
+        s.series_extend(
+            "ctl/routable_shards",
+            self.control
+                .windows
+                .iter()
+                .map(|w| w.routable_shards as f64),
+        );
+    }
+}
+
+/// One offer in the adaptive dispatch stream (the static endpoint's
+/// `Offer`, duplicated because that one is module-private).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Offer {
+    slot: u64,
+    seq: u64,
+    id: u64,
+    duration_slots: u64,
+    attempt: u32,
+}
+
+/// The sequential adaptive dispatch pass: the static endpoint's merge
+/// discipline plus a control step at every period boundary.
+struct AdaptiveDispatcher {
+    slots: u64,
+    full_bits: u64,
+    recovery: RecoveryConfig,
+    autoscale: AutoscaleConfig,
+    states: Vec<ShardState>,
+    balancers: Vec<Balancer>,
+    policies: Vec<BalancerPolicy>,
+    active_arm: usize,
+    ucb: Option<i64>,
+    pulls: [u64; 3],
+    rewards_q16: [i64; 3],
+    window_offered: u64,
+    window_good: u64,
+    next_boundary: u64,
+    provisioned_at: Vec<Option<u64>>,
+    drained_at: Vec<Option<u64>>,
+    scale_events: Vec<ScaleEvent>,
+    windows: Vec<ControlWindow>,
+    dynamic: EventQueue<Offer>,
+    next_seq: u64,
+    sessions: Vec<Vec<SessionRequest>>,
+    in_flight: Vec<Vec<(u64, u64, u64)>>,
+    report: DispatchReport,
+}
+
+impl AdaptiveDispatcher {
+    fn new(
+        config: &AdaptiveConfig,
+        full_bits: u64,
+        slots: u64,
+        hint: usize,
+    ) -> Result<Self, ServeError> {
+        let auto = config.autoscale;
+        let n = auto.max_shards;
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut state = ShardState::new(config.shard.capacity, full_bits, None, hint)?;
+            if i >= auto.min_shards {
+                // Parked spare: never routable until activated.
+                state.set_up_from(Some(u64::MAX));
+            }
+            states.push(state);
+        }
+        let (policies, ucb): (Vec<BalancerPolicy>, Option<i64>) = match config.arms {
+            ArmSelection::Fixed(policy) => (vec![policy], None),
+            ArmSelection::Ucb { exploration_q16 } => (ARMS.to_vec(), Some(exploration_q16)),
+        };
+        let balancers = policies
+            .iter()
+            .map(|&p| Balancer::new(p, config.seed))
+            .collect();
+        Ok(AdaptiveDispatcher {
+            slots,
+            full_bits,
+            recovery: config.recovery,
+            autoscale: auto,
+            states,
+            balancers,
+            policies,
+            active_arm: 0,
+            ucb,
+            pulls: [0; 3],
+            rewards_q16: [0; 3],
+            window_offered: 0,
+            window_good: 0,
+            next_boundary: auto.control_period_slots,
+            provisioned_at: (0..n).map(|i| (i < auto.min_shards).then_some(0)).collect(),
+            drained_at: vec![None; n],
+            scale_events: Vec::new(),
+            windows: Vec::new(),
+            dynamic: EventQueue::with_capacity(64),
+            next_seq: 0,
+            sessions: (0..n).map(|_| Vec::with_capacity(hint)).collect(),
+            in_flight: vec![Vec::new(); n],
+            report: DispatchReport {
+                shard_sessions: vec![0; n],
+                ..DispatchReport::default()
+            },
+        })
+    }
+
+    /// The policy routing during the current window.
+    fn current_arm(&self) -> BalancerPolicy {
+        self.policies[self.active_arm]
+    }
+
+    /// Shards provisioned (warming or routable) and not drained.
+    fn provisioned(&self) -> usize {
+        self.provisioned_at
+            .iter()
+            .zip(&self.drained_at)
+            .filter(|(p, d)| p.is_some() && d.is_none())
+            .count()
+    }
+
+    /// Processes control boundaries and dynamic offers that must
+    /// precede the next injected offer (`Some(slot)`) or the end of
+    /// the stream (`None`) — the static endpoint's merge discipline
+    /// with the boundary check spliced in front.
+    fn advance(&mut self, upcoming: Option<u64>) {
+        loop {
+            let next_slot = match (upcoming, self.dynamic.peek_time()) {
+                (Some(u), Some(t)) => Some(u.min(t.ticks())),
+                (Some(u), None) => Some(u),
+                (None, Some(t)) => Some(t.ticks()),
+                (None, None) => None,
+            };
+            if self.next_boundary < self.slots && next_slot.is_none_or(|s| s >= self.next_boundary)
+            {
+                let b = self.next_boundary;
+                self.control_step(b, true);
+                self.next_boundary = b + self.autoscale.control_period_slots;
+                continue;
+            }
+            let due = match (upcoming, self.dynamic.peek_time()) {
+                (Some(u), Some(t)) => t.ticks() < u,
+                (None, Some(_)) => true,
+                (_, None) => false,
+            };
+            if !due {
+                break;
+            }
+            let offer = self.dynamic.pop().expect("peeked non-empty").payload;
+            self.route_one(offer);
+        }
+    }
+
+    /// One control boundary: sample occupancy, scale (only while the
+    /// stream is still open — the final partial window must not
+    /// schedule re-offers nothing will route), close the bandit
+    /// window.
+    fn control_step(&mut self, b: u64, scale: bool) {
+        // 1. Load signal: mean predicted occupancy over the shards the
+        //    balancer can route to at `b`. `release_until` first, so
+        //    the signal sees the same reservation ledger the next
+        //    routing decision would (idempotent — routing re-releases).
+        let mut occ_sum = 0.0f64;
+        let mut routable = 0u64;
+        for state in &mut self.states {
+            if state.alive(b) {
+                state.release_until(b);
+                occ_sum += state.current_occupancy();
+                routable += 1;
+            }
+        }
+        let mean_occ = if routable > 0 {
+            occ_sum / routable as f64
+        } else {
+            0.0
+        };
+
+        // 2. Autoscale: at most one provisioning step per boundary.
+        //    Decisions count *provisioned* shards (warming included)
+        //    so a warming spare suppresses further scale-ups.
+        if scale && self.autoscale.min_shards < self.autoscale.max_shards {
+            let provisioned = self.provisioned();
+            if mean_occ > self.autoscale.scale_up_above && provisioned < self.autoscale.max_shards {
+                if let Some(i) = self.provisioned_at.iter().position(Option::is_none) {
+                    self.provisioned_at[i] = Some(b);
+                    self.states[i].set_up_from(Some(b + self.autoscale.warmup_slots));
+                    self.scale_events.push(ScaleEvent {
+                        slot: b,
+                        shard: i,
+                        up: true,
+                        occupancy: mean_occ,
+                    });
+                }
+            } else if mean_occ < self.autoscale.scale_in_below
+                && provisioned > self.autoscale.min_shards
+            {
+                let victim = self
+                    .provisioned_at
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(i, p)| p.is_some() && self.drained_at[*i].is_none())
+                    .map(|(i, _)| i);
+                if let Some(i) = victim {
+                    self.drain_shard(i, b, mean_occ);
+                }
+            }
+        }
+
+        // 3. Close the bandit window: reward the arm that routed it,
+        //    then pick the next arm.
+        let reward_q16 = if self.window_offered > 0 {
+            ((self.window_good as i64) << 16) / self.window_offered as i64
+        } else {
+            0
+        };
+        self.windows.push(ControlWindow {
+            end_slot: b,
+            arm: self.current_arm(),
+            offered: self.window_offered,
+            good: self.window_good,
+            reward_q16,
+            mean_occupancy: mean_occ,
+            routable_shards: routable,
+        });
+        if let Some(exploration_q16) = self.ucb {
+            // Empty windows teach nothing: keep the arm, skip the
+            // pull so its mean is not diluted by idle periods.
+            if self.window_offered > 0 {
+                self.pulls[self.active_arm] += 1;
+                self.rewards_q16[self.active_arm] += reward_q16;
+                self.active_arm = select_arm(&self.pulls, &self.rewards_q16, exploration_q16);
+            }
+        }
+        self.window_offered = 0;
+        self.window_good = 0;
+    }
+
+    /// Drains shard `i` at boundary `b`: the scale-in leg of the
+    /// E13 crash-harvest machinery. The shard stops taking traffic at
+    /// `b`, its in-flight sessions re-offer to the survivors with
+    /// their remaining duration after the first backoff, and the
+    /// execution phase will crash its active set at `b`.
+    fn drain_shard(&mut self, i: usize, b: u64, mean_occ: f64) {
+        self.drained_at[i] = Some(b);
+        self.states[i].set_down_from(Some(b));
+        for &(arrival, depart, id) in &self.in_flight[i] {
+            // Same victim predicate as a crash harvest: arrived
+            // before the drain edge, with playout left past it.
+            if arrival < b && depart > b {
+                self.report.rerouted += 1;
+                let slot = b + self.recovery.backoff_slots(0);
+                self.dynamic.schedule(
+                    SimTime::from_ticks(slot),
+                    Offer {
+                        slot,
+                        seq: self.next_seq,
+                        id,
+                        duration_slots: depart - b,
+                        attempt: 1,
+                    },
+                );
+                self.next_seq += 1;
+            }
+        }
+        self.in_flight[i].clear();
+        self.states[i].release_all();
+        self.scale_events.push(ScaleEvent {
+            slot: b,
+            shard: i,
+            up: false,
+            occupancy: mean_occ,
+        });
+    }
+
+    /// Routes one offer — the static endpoint's loop body plus the
+    /// bandit's window accounting.
+    fn route_one(&mut self, offer: Offer) {
+        if offer.slot >= self.slots || offer.duration_slots == 0 {
+            self.report.balancer_rejected += 1;
+            return;
+        }
+        for state in &mut self.states {
+            state.release_until(offer.slot);
+        }
+        self.window_offered += 1;
+        match self.balancers[self.active_arm].route(&mut self.states, offer.slot, self.full_bits) {
+            Route::To(shard) => {
+                // Dispatch-time reward oracle: would the receiving
+                // shard's mirror have admitted this session? For
+                // jsq/p2c the route already implies yes; for the
+                // oblivious rr this is exactly where overload shows.
+                if self.states[shard].would_admit(self.full_bits) {
+                    self.window_good += 1;
+                }
+                let depart = offer.slot + offer.duration_slots;
+                self.states[shard].reserve(depart, self.full_bits);
+                self.sessions[shard].push(SessionRequest {
+                    id: offer.id,
+                    arrival_slot: offer.slot,
+                    duration_slots: offer.duration_slots,
+                });
+                self.report.shard_sessions[shard] += 1;
+                self.report.dispatched += 1;
+                self.in_flight[shard].push((offer.slot, depart, offer.id));
+            }
+            Route::Refused => {
+                if offer.attempt < self.recovery.max_retries {
+                    self.report.retries += 1;
+                    let slot = offer.slot + self.recovery.backoff_slots(offer.attempt);
+                    self.dynamic.schedule(
+                        SimTime::from_ticks(slot),
+                        Offer {
+                            slot,
+                            seq: self.next_seq,
+                            attempt: offer.attempt + 1,
+                            ..offer
+                        },
+                    );
+                    self.next_seq += 1;
+                } else {
+                    self.report.balancer_rejected += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Picks the next UCB1 arm: unpulled arms first (in `ARMS` order),
+/// then `argmax(mean + sqrt(exploration · ln t / n))`, ties to the
+/// lower index. Pure integer math in Q16.
+fn select_arm(pulls: &[u64; 3], rewards_q16: &[i64; 3], exploration_q16: i64) -> usize {
+    if let Some(i) = pulls.iter().position(|&p| p == 0) {
+        return i;
+    }
+    let t: u64 = pulls.iter().sum();
+    let ln = ln_q16(t);
+    let mut best = 0usize;
+    let mut best_score = i64::MIN;
+    for i in 0..3 {
+        let mean = rewards_q16[i] / pulls[i] as i64;
+        // inner = exploration · ln(t) / n, Q16; widen through i128 so
+        // large pull counts cannot overflow the product.
+        let inner_q16 =
+            ((i128::from(exploration_q16) * i128::from(ln)) / i128::from(pulls[i] << 16)) as i64;
+        // sqrt of a Q16 value x is isqrt(x << 16) in Q16.
+        let bonus = (((inner_q16.max(0) as u64) << 16).isqrt()) as i64;
+        let score = mean + bonus;
+        if score > best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The adaptive fleet simulation: dispatch with closed control loops,
+/// then the standard parallel shard execution.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSim {
+    config: AdaptiveConfig,
+}
+
+impl AdaptiveSim {
+    /// Builds an adaptive fleet after validating its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AdaptiveConfig::validate`].
+    pub fn new(config: AdaptiveConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        Ok(AdaptiveSim { config })
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// The adaptive dispatch pass alone: per-shard workloads, the
+    /// execution-phase fault plans (crash bursts at scale-in edges)
+    /// and the control trace. Sequential and simulation-free, like
+    /// [`ClusterSim::dispatch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates template validation.
+    pub fn dispatch(
+        &self,
+        workload: &Workload,
+    ) -> Result<
+        (
+            Vec<Workload>,
+            Vec<ShardFault>,
+            DispatchReport,
+            AdaptiveControl,
+        ),
+        ServeError,
+    > {
+        workload.template.validate()?;
+        let full_bits = workload.template.full_bits();
+        let hint = workload.sessions.len() / self.config.autoscale.max_shards + 1;
+        let mut d = AdaptiveDispatcher::new(&self.config, full_bits, workload.slots, hint)?;
+
+        let mut order: Vec<usize> = (0..workload.sessions.len()).collect();
+        order.sort_by_key(|&i| workload.sessions[i].arrival_slot);
+        for &i in &order {
+            let s = workload.sessions[i];
+            d.advance(Some(s.arrival_slot));
+            d.report.offered += 1;
+            let offer = Offer {
+                slot: s.arrival_slot,
+                seq: d.next_seq,
+                id: s.id,
+                duration_slots: s.duration_slots,
+                attempt: 0,
+            };
+            d.next_seq += 1;
+            d.route_one(offer);
+        }
+        d.advance(None);
+        // Close the final partial window so late-run routing is
+        // still accounted (and rewarded, in UCB mode).
+        if d.window_offered > 0 {
+            d.control_step(workload.slots, false);
+        }
+        debug_assert_eq!(
+            d.report.dispatched + d.report.balancer_rejected + d.report.drained,
+            d.report.offered + d.report.rerouted,
+            "adaptive dispatch conservation"
+        );
+
+        let slots = workload.slots;
+        let n = self.config.autoscale.max_shards;
+        // Shard-hour bill: each shard is provisioned over one interval
+        // `[provisioned_at, drained_at | horizon)`.
+        let mut shard_count = vec![0u64; slots as usize];
+        let mut shard_slots = 0u64;
+        for i in 0..n {
+            if let Some(a) = d.provisioned_at[i] {
+                let end = d.drained_at[i].unwrap_or(slots).min(slots);
+                shard_slots += end.saturating_sub(a);
+                for c in shard_count.iter_mut().take(end as usize).skip(a as usize) {
+                    *c += 1;
+                }
+            }
+        }
+        let any_drain = d.drained_at.iter().any(Option::is_some);
+        let faults: Vec<ShardFault> = if any_drain {
+            (0..n)
+                .map(|i| match d.drained_at[i] {
+                    Some(at) => Ok(ShardFault {
+                        plan: FaultPlan::compile(
+                            &[FaultSpec::CrashBurst {
+                                slot: at,
+                                fraction: 1.0,
+                            }],
+                            slots,
+                            self.config.seed,
+                        )
+                        .map_err(|_| ServeError::InvalidParameter("drain_plan"))?,
+                        down_from: Some(at),
+                    }),
+                    None => Ok(ShardFault::default()),
+                })
+                .collect::<Result<_, ServeError>>()?
+        } else {
+            Vec::new()
+        };
+        let template = workload.template;
+        let workloads: Vec<Workload> = d
+            .sessions
+            .into_iter()
+            .map(|s| Workload {
+                sessions: s,
+                template,
+                slots,
+            })
+            .collect();
+        let control = AdaptiveControl {
+            scale_events: d.scale_events,
+            windows: d.windows,
+            shard_count,
+            shard_slots,
+            provisioned_at: d.provisioned_at,
+            drained_at: d.drained_at,
+        };
+        Ok((workloads, faults, d.report, control))
+    }
+
+    /// Runs the full adaptive pipeline: closed-loop dispatch, then the
+    /// standard [`ClusterSim`] parallel shard execution (byte-identical
+    /// at any `DMS_THREADS`). Warm shards keep the template shard
+    /// config; a shard provisioned at slot `a` additionally gets the
+    /// server-side warm-up gate `warmup_slots = a + warmup` when the
+    /// template has a degrade block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dispatch and shard-run validation.
+    pub fn run(
+        &self,
+        workload: &Workload,
+        sinks: Option<&mut Vec<ServeMetricsSink>>,
+    ) -> Result<AdaptiveReport, ServeError> {
+        let (workloads, faults, dispatch, control) = self.dispatch(workload)?;
+        let shards: Vec<ServerConfig> = control
+            .provisioned_at
+            .iter()
+            .map(|p| {
+                let mut cfg = self.config.shard;
+                if let (Some(a), Some(degrade)) = (p, cfg.degrade.as_mut()) {
+                    if *a > 0 {
+                        degrade.warmup_slots = a + self.config.autoscale.warmup_slots;
+                    }
+                }
+                cfg
+            })
+            .collect();
+        let cluster = ClusterSim::new(ClusterConfig {
+            shards,
+            // The execution phase never re-routes; any policy works.
+            // Use a fixed arm (or the pinned arm) so the config is
+            // exactly the static cluster's in the differential case.
+            balancer: match self.config.arms {
+                ArmSelection::Fixed(policy) => policy,
+                ArmSelection::Ucb { .. } => BalancerPolicy::RoundRobin,
+            },
+            recovery: self.config.recovery,
+            seed: self.config.seed,
+        })?;
+        let report = cluster.run_dispatched(workloads, dispatch, &faults, sinks)?;
+        Ok(AdaptiveReport {
+            cluster: report,
+            control,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autoscale_validation() {
+        let mut a = AutoscaleConfig::default();
+        assert!(a.validate().is_ok());
+        a.min_shards = 0;
+        assert!(a.validate().is_err());
+        let mut a = AutoscaleConfig::default();
+        a.max_shards = 0;
+        assert!(a.validate().is_err());
+        let mut a = AutoscaleConfig::default();
+        a.control_period_slots = 0;
+        assert!(a.validate().is_err());
+        let mut a = AutoscaleConfig::default();
+        a.scale_in_below = a.scale_up_above;
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn ln_q16_is_monotone_and_anchored() {
+        assert_eq!(ln_q16(0), 0);
+        assert_eq!(ln_q16(1), 0);
+        assert_eq!(ln_q16(2), LN2_Q16);
+        assert_eq!(ln_q16(4), 2 * LN2_Q16);
+        let mut last = 0;
+        for t in 1..1_000 {
+            let v = ln_q16(t);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn select_arm_plays_every_arm_once_then_exploits() {
+        let mut pulls = [0u64; 3];
+        let mut rewards = [0i64; 3];
+        // Unplayed arms first, in order.
+        assert_eq!(select_arm(&pulls, &rewards, 2 << 16), 0);
+        pulls[0] = 1;
+        assert_eq!(select_arm(&pulls, &rewards, 2 << 16), 1);
+        pulls[1] = 1;
+        assert_eq!(select_arm(&pulls, &rewards, 2 << 16), 2);
+        pulls[2] = 1;
+        // Arm 1 has the clearly dominant mean: exploited.
+        rewards[1] = 1 << 16;
+        let mut counts = [0usize; 3];
+        for _ in 0..50 {
+            let a = select_arm(&pulls, &rewards, 2 << 16);
+            counts[a] += 1;
+            pulls[a] += 1;
+            rewards[a] += if a == 1 { 1 << 16 } else { 0 };
+        }
+        assert!(counts[1] > counts[0] + counts[2], "{counts:?}");
+    }
+}

@@ -76,6 +76,10 @@ pub(crate) struct ShardState {
     departures: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
     /// First slot at which the shard is dead, if it dies.
     down_from: Option<u64>,
+    /// First slot at which the shard serves traffic; `None` = from
+    /// slot 0. The autoscaler parks spare shards at `u64::MAX` and
+    /// rewrites this on activation.
+    up_from: Option<u64>,
 }
 
 impl ShardState {
@@ -96,17 +100,42 @@ impl ShardState {
             memo: AdmissionMemo::new(),
             departures: std::collections::BinaryHeap::with_capacity(expected_sessions),
             down_from,
+            up_from: None,
         })
     }
 
     /// Whether the shard serves traffic at `slot`.
     pub(crate) fn alive(&self, slot: u64) -> bool {
-        self.down_from.is_none_or(|d| slot < d)
+        self.up_from.is_none_or(|u| slot >= u) && self.down_from.is_none_or(|d| slot < d)
     }
 
     /// Whether the shard dies at some point of the run.
     pub(crate) fn dies(&self) -> bool {
         self.down_from.is_some()
+    }
+
+    /// Re-stamps the first dead slot (scale-in decision).
+    pub(crate) fn set_down_from(&mut self, slot: Option<u64>) {
+        self.down_from = slot;
+    }
+
+    /// Re-stamps the first served slot (spare parking / activation).
+    pub(crate) fn set_up_from(&mut self, slot: Option<u64>) {
+        self.up_from = slot;
+    }
+
+    /// Predicted mean M/M/1/K occupancy of the *currently* reserved
+    /// set — the autoscaler's load signal. Memoised on the
+    /// frame-aligned path exactly like the routing predicates, and
+    /// bit-identical to the direct evaluation.
+    pub(crate) fn current_occupancy(&mut self) -> f64 {
+        let frame = self.mirror.frame_bits();
+        if self.reserved_bits.is_multiple_of(frame) {
+            self.memo
+                .predicted_occupancy(&self.mirror, self.reserved_bits / frame)
+        } else {
+            self.mirror.predicted_occupancy(self.reserved_bits)
+        }
     }
 
     /// Releases reservations of sessions departing *before* `slot`.
@@ -159,8 +188,11 @@ impl ShardState {
     }
 
     /// Mirror admission predicate for `bits` more demand; memoised
-    /// like [`ShardState::occupancy_with`].
-    fn would_admit(&mut self, bits: u64) -> bool {
+    /// like [`ShardState::occupancy_with`]. Also the bandit's
+    /// dispatch-time "good routing" oracle (`pub(crate)` for
+    /// `adaptive`); pure modulo memo fills, which are bit-identical
+    /// to the direct evaluation.
+    pub(crate) fn would_admit(&mut self, bits: u64) -> bool {
         let frame = self.mirror.frame_bits();
         if bits == frame && self.reserved_bits.is_multiple_of(frame) {
             self.memo

@@ -28,12 +28,24 @@
 //! admitted-utility scaling under the smart balancers, the round-robin
 //! arm collapsing first under capacity skew, and crash re-routing
 //! retaining ≥90% of pre-crash utility when one of four shards dies.
+//!
+//! The [`adaptive`] module closes the loop (E17): an [`AdaptiveSim`]
+//! autoscales the shard count on the predictors' occupancy signal,
+//! replaces the open-loop degrade hysteresis with per-shard PI
+//! controllers on the measured miss rate, and picks the balancer
+//! policy online with a seeded UCB bandit — pinned, it reproduces the
+//! static [`ClusterSim`] bit for bit.
 
+pub mod adaptive;
 pub mod balancer;
 pub mod cluster;
 pub mod endpoint;
 pub mod tiers;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveControl, AdaptiveReport, AdaptiveSim, ArmSelection, AutoscaleConfig,
+    ControlWindow, ScaleEvent,
+};
 pub use balancer::BalancerPolicy;
 pub use cluster::{
     aggregate_utility, ClusterConfig, ClusterReport, ClusterSim, DispatchReport, ShardFault,

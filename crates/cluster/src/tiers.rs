@@ -1126,6 +1126,67 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_cache_holds_nothing_and_stays_conserved() {
+        let mut cache = LruCache::new(0);
+        cache.insert(1);
+        assert!(!cache.touch(1), "capacity 0 stores nothing");
+        cache.insert(2);
+        cache.insert(2);
+        assert!(!cache.touch(2), "re-insertion cannot smuggle an item in");
+
+        // End to end: a cacheless region never hits, every session is
+        // an origin fetch or an origin reject, and the ledger holds.
+        let report = TieredSim::new(small_config(0, 25))
+            .expect("valid")
+            .run()
+            .expect("runs");
+        assert_eq!(report.edge_hits(), 0, "no cache, no hits");
+        for region in &report.regions {
+            assert!(region.conserved());
+            assert_eq!(
+                region.origin_fetches + region.origin_rejected,
+                region.offered
+            );
+        }
+    }
+
+    #[test]
+    fn single_content_catalogue_degenerates_to_the_compulsory_miss() {
+        // Zipf over one item is the point mass at rank 0, churn
+        // rotates modulo 1, and the sampler never leaves the head.
+        let model = ContentModel {
+            catalog_size: 1,
+            zipf_exponent: 1.3,
+            churn_period_slots: 50,
+            churn_stride: 10,
+        };
+        assert!(model.validate().is_ok());
+        assert_eq!(model.content_id(0, 0), 0);
+        assert_eq!(model.content_id(0, 12_345), 0);
+        let zipf = ZipfSampler::new(&model).expect("valid");
+        let mut rng = SimRng::new(9);
+        assert!((0..1_000).all(|_| zipf.sample(&mut rng) == 0));
+
+        // With any cache at all, each region pays at most a handful of
+        // compulsory misses (until the item first lands) and then hits
+        // forever: the hit side must dominate the fetch side.
+        let mut config = small_config(4, 25);
+        config.content = model;
+        let report = TieredSim::new(config).expect("valid").run().expect("runs");
+        for region in &report.regions {
+            assert!(region.conserved());
+            assert!(region.edge_hits > 0);
+            assert!(
+                region.edge_hits > region.origin_fetches + region.origin_rejected,
+                "hits {} must dominate misses {} + {}",
+                region.edge_hits,
+                region.origin_fetches,
+                region.origin_rejected
+            );
+        }
+    }
+
+    #[test]
     fn tiered_run_conserves_sessions_and_is_deterministic() {
         let sim = TieredSim::new(small_config(64, 20)).expect("valid");
         let a = sim.run().expect("runs");

@@ -99,6 +99,14 @@ pub struct ServerEngine {
     next_act: u64,
     stall_streak: u64,
 
+    /// Arrivals before this slot are rejected outright (the warm-up
+    /// cost of a freshly provisioned shard); `0` = always warm.
+    warmup_slots: u64,
+    /// Previous slot's deadline-miss count / active-set size — the
+    /// measurement the PI shedding law closes its loop on.
+    prev_misses: u64,
+    prev_active: u64,
+
     /// Next slot to step; slots `0..slot` are already simulated.
     slot: u64,
     report: FaultReport,
@@ -168,6 +176,9 @@ impl ServerEngine {
             link_factor: 1.0,
             next_act: 0,
             stall_streak: 0,
+            warmup_slots: config.degrade.map_or(0, |d| d.warmup_slots),
+            prev_misses: 0,
+            prev_active: 0,
             slot: 0,
             report: FaultReport::default(),
             verdicts: None,
@@ -336,9 +347,16 @@ impl ServerEngine {
             match ev {
                 ServerEvent::Arrive(idx) => {
                     let req = self.sessions[idx];
-                    let admitted = self
-                        .memo
-                        .decide(&mut self.admission, self.arena.live() as u64);
+                    let admitted = if slot < self.warmup_slots {
+                        // Warm-up gate: the shard exists but is not
+                        // ready to serve; the rejection is recorded so
+                        // `admitted + rejected == offered` stays exact.
+                        self.admission.record_rejection();
+                        false
+                    } else {
+                        self.memo
+                            .decide(&mut self.admission, self.arena.live() as u64)
+                    };
                     if let Some(v) = self.verdicts.as_mut() {
                         v.push((req.id, admitted));
                     }
@@ -372,9 +390,10 @@ impl ServerEngine {
                     // Re-admissions preview the predicate without
                     // recording: the `admitted + rejected == offered`
                     // ledger counts each session's first offer once.
-                    if self
-                        .memo
-                        .would_admit(&self.admission, self.arena.live() as u64)
+                    if slot >= self.warmup_slots
+                        && self
+                            .memo
+                            .would_admit(&self.admission, self.arena.live() as u64)
                     {
                         self.report.readmitted += 1;
                         let act = self.next_act;
@@ -435,8 +454,18 @@ impl ServerEngine {
         // the free list) and sum the carried backlog. After this,
         // `arena.order` is exactly the live set in admission order.
         let carried = self.arena.compact();
+        let active_now = self.arena.live() as u64;
         let layers = match self.degrade.as_mut() {
-            Some(ctl) => ctl.observe(full_demand, capacity_now, carried),
+            // Closed loop: the previous slot's measured miss rate
+            // feeds the PI law; without a PI block this is the
+            // hysteresis `observe` path, bit for bit.
+            Some(ctl) => ctl.observe_feedback(
+                full_demand,
+                capacity_now,
+                carried,
+                self.prev_misses,
+                self.prev_active,
+            ),
             None => template.max_layers,
         };
         self.report.base.mean_layers += layers.min(template.max_layers) as f64;
@@ -608,6 +637,8 @@ impl ServerEngine {
             );
         }
 
+        self.prev_misses = self.report.base.deadline_misses - misses_before;
+        self.prev_active = active_now;
         self.slot += 1;
         true
     }

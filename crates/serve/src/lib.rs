@@ -74,7 +74,7 @@ pub mod session;
 pub mod workload;
 
 pub use admission::{AdmissionController, AdmissionMemo, AdmissionPolicy, CapacityModel};
-pub use degrade::{DegradeConfig, LayerController};
+pub use degrade::{DegradeConfig, LayerController, PiConfig};
 pub use engine::ServerEngine;
 pub use error::ServeError;
 pub use faults::{corruption_burst, FaultReport, RecoveryConfig};

@@ -435,6 +435,48 @@ impl Workload {
         })
     }
 
+    /// Materialises a workload from externally supplied per-slot
+    /// arrival counts — the bridge that lets a *closed-loop* trace
+    /// (e.g. the E11 ambient user-behaviour DTMC) drive the server
+    /// instead of an open-loop arrival process. Holding times come
+    /// from the same `"serve-durations"` substream discipline as
+    /// [`Workload::generate`], so two traces with identical counts
+    /// and seeds yield byte-identical workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template validation failures.
+    pub fn from_arrival_counts(
+        counts: &[u32],
+        template: SessionTemplate,
+        seed: u64,
+    ) -> Result<Workload, ServeError> {
+        template.validate()?;
+        let master = SimRng::new(seed);
+        let mut durations = master.substream("serve-durations", 0);
+        let mut sessions = Vec::new();
+        let mut id = 0u64;
+        for (slot, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                let d = durations
+                    .exponential(template.mean_duration_slots)
+                    .ceil()
+                    .max(1.0) as u64;
+                sessions.push(SessionRequest {
+                    id,
+                    arrival_slot: slot as u64,
+                    duration_slots: d,
+                });
+                id += 1;
+            }
+        }
+        Ok(Workload {
+            sessions,
+            template,
+            slots: counts.len() as u64,
+        })
+    }
+
     /// Offered load: mean full-quality demand of concurrently held
     /// sessions over the link capacity (`λ · E[D] · full_bits / C`).
     #[must_use]
@@ -457,6 +499,46 @@ mod tests {
 
     fn template() -> SessionTemplate {
         SessionTemplate::streaming_default().expect("preset valid")
+    }
+
+    /// Pins the FlashCrowd envelope at known slots: the diurnal
+    /// sinusoid's peak/trough/zero crossings and the spike duty
+    /// window, including the phase shift used for per-region
+    /// timezones.
+    #[test]
+    fn flash_envelope_pins_diurnal_and_spike_factors() {
+        let env = |slot, phase| flash_envelope(slot, 0.5, 100, phase, 3.0, 50, 10);
+        // Slot 0: diurnal = 1 + 0.5·sin(0) = 1, inside the spike
+        // window (0 % 50 < 10) → ×3.
+        assert!((env(0, 0) - 3.0).abs() < 1e-9);
+        // Slot 25: diurnal peak 1 + 0.5·sin(π/2) = 1.5, no spike.
+        assert!((env(25, 0) - 1.5).abs() < 1e-9);
+        // Slot 50: diurnal zero-crossing (sin π ≈ 0), spike window of
+        // the second period → ×3.
+        assert!((env(50, 0) - 3.0).abs() < 1e-9);
+        // Slot 75: diurnal trough 1 + 0.5·sin(3π/2) = 0.5, no spike.
+        assert!((env(75, 0) - 0.5).abs() < 1e-9);
+        // A 25-slot phase shift moves the peak onto slot 0, where it
+        // compounds with the spike: 1.5 × 3.
+        assert!((env(0, 25) - 4.5).abs() < 1e-9);
+        // The envelope is periodic in the diurnal cycle.
+        assert!((env(125, 0) - env(25, 0)).abs() < 1e-12);
+    }
+
+    /// `from_arrival_counts` with the counts `generate` would draw is
+    /// `generate`, byte for byte — same ids, arrival slots, and
+    /// holding times.
+    #[test]
+    fn from_arrival_counts_matches_generate_on_the_same_counts() {
+        let t = template();
+        let process = ArrivalProcess::Poisson { rate: 1.7 };
+        let seed = 42;
+        let generated = Workload::generate(process, t, 120, seed).expect("generate");
+        let counts = process
+            .counts(120, &mut SimRng::new(seed).substream("serve-arrivals", 0))
+            .expect("counts");
+        let from_counts = Workload::from_arrival_counts(&counts, t, seed).expect("from counts");
+        assert_eq!(generated, from_counts);
     }
 
     #[test]

@@ -31,8 +31,10 @@
 //!   degradation;
 //! * [`cluster`] — sharded multi-server streaming: N server replicas
 //!   behind a pluggable balancer (round-robin, join-shortest-queue,
-//!   power-of-two-choices) with shard fault plans and deterministic
-//!   crash re-routing.
+//!   power-of-two-choices) with shard fault plans, deterministic
+//!   crash re-routing, geo-tiered edge/origin delivery, and a
+//!   closed-loop adaptive fleet (occupancy-driven autoscaling, Q16
+//!   PI feedback shedding, UCB1 balancer selection).
 //!
 //! ## Quickstart
 //!

@@ -12,7 +12,7 @@
 //! git diff tests/golden/
 //! ```
 //!
-//! Three snapshots, chosen for coverage-per-byte:
+//! Five snapshots, chosen for coverage-per-byte:
 //!
 //! * `E10.json` — the steady-state experiment's full run-log, the
 //!   oldest table in the suite (analysis + simulation agreement);
@@ -30,13 +30,17 @@
 //!   regions + shared origin at 0.6x load), built the way
 //!   `e16_run_log` renders each grid point, pinning the Zipf cache
 //!   pass, origin predictor ledger, flash-crowd workload, per-class
-//!   last-hop energy tables, and the nested per-region fleet export.
+//!   last-hop energy tables, and the nested per-region fleet export;
+//! * `E17_diurnal_adaptive.json` — the E17 closed-loop fleet on the
+//!   diurnal regime, pinning the ambient-trace load generator, the
+//!   autoscaler's scale events, the Q16 PI/UCB controller state
+//!   series, and the per-slot shard-count series end to end.
 
 use std::path::PathBuf;
 
 use dms_bench::{
     e10_steady_state, e14_recovered_fraction, e14_run_point_instrumented, e16_run_point,
-    run_log_for, E14Point, E16Arm, E16Point,
+    e17_run_point, run_log_for, E14Point, E16Arm, E16Point, E17Arm, E17Point, E17Regime,
 };
 use dms_cluster::BalancerPolicy;
 use dms_sim::{RunLog, RunLogReader, RunLogWriter, RunRecord, TailState};
@@ -186,4 +190,41 @@ fn e16_tiered_point_matches_golden() {
             .with("energy_j_per_bit", report.energy_per_bit()),
     );
     assert_matches_golden(&log, "E16_tiered_0.6.json");
+}
+
+#[test]
+fn e17_diurnal_adaptive_point_matches_golden() {
+    let point = E17Point {
+        regime: E17Regime::Diurnal,
+        arm: E17Arm::Adaptive,
+    };
+    let outcome = e17_run_point(point);
+    let control = outcome.control.as_ref().expect("adaptive control trace");
+    let mut log = RunLog::new();
+    log.set_meta("experiment", "E17");
+    log.set_meta("point", point.label());
+    dms_cluster::AdaptiveReport {
+        cluster: outcome.cluster.clone(),
+        control: control.clone(),
+    }
+    .export(log.registry_mut(), &format!("e17/{}", point.label()));
+    log.push(
+        RunRecord::new("e17-point")
+            .with("label", point.label())
+            .with("offered", outcome.cluster.offered())
+            .with("admitted", outcome.cluster.admitted())
+            .with("rejected", outcome.cluster.rejected())
+            .with("utility_sum", outcome.cluster.utility_sum())
+            .with("shard_slots", outcome.shard_slots())
+            .with("utility_per_shard_hour", outcome.utility_per_shard_hour())
+            .with(
+                "scale_ups",
+                control.scale_events.iter().filter(|e| e.up).count() as u64,
+            )
+            .with(
+                "scale_ins",
+                control.scale_events.iter().filter(|e| !e.up).count() as u64,
+            ),
+    );
+    assert_matches_golden(&log, "E17_diurnal_adaptive.json");
 }
